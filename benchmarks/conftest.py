@@ -1,0 +1,23 @@
+"""Shared helpers for the paper-reproduction benches.
+
+Every bench regenerates one of the paper's tables or figures, prints the
+series (visible under ``pytest -s``), and persists it under
+``benchmarks/results/``.  EXPERIMENTS.md records the paper-vs-measured
+comparison for each.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import ResultTable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def result_table():
+    """Factory for paper-style result tables persisted to results/."""
+    def factory(name, headers, title=None):
+        return ResultTable(name, headers, title=title, output_dir=RESULTS_DIR)
+    return factory

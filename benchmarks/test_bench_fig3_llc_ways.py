@@ -1,0 +1,43 @@
+"""Fig. 3: impact of LLC associativity on throughput + eviction latency.
+
+Paper: at a fixed 16 MB LLC, raising the way count from 2 to 128 inflates
+the eviction set (one access per way) and the lookup latency, collapsing
+the baseline attack's throughput; the direct attack is unaffected.
+"""
+
+from test_bench_fig2_llc_size import sec33_system
+
+from repro.attacks import run_sec33_point
+
+LLC_WAYS = [2, 4, 8, 16, 32, 64, 128]
+
+
+def sweep(bits=256):
+    rows = []
+    for ways in LLC_WAYS:
+        point = run_sec33_point(sec33_system(16, ways=ways), bits=bits)
+        rows.append((ways, point))
+    return rows
+
+
+def test_fig3_llc_ways_sweep(benchmark, result_table):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = result_table(
+        "fig3_llc_ways",
+        ["llc_ways", "direct_mbps", "baseline_mbps", "eviction_latency_cycles"],
+        title="Fig. 3: throughput + eviction latency vs LLC ways (16 MB)")
+    for ways, point in rows:
+        table.add(ways, round(point["direct_mbps"], 2),
+                  round(point["baseline_mbps"], 2),
+                  round(point["eviction_latency_cycles"]))
+    table.emit()
+
+    direct = [p["direct_mbps"] for _w, p in rows]
+    baseline = [p["baseline_mbps"] for _w, p in rows]
+    eviction = [p["eviction_latency_cycles"] for _w, p in rows]
+    # Direct attack flat regardless of associativity.
+    assert max(direct) - min(direct) < 0.05 * max(direct)
+    # Baseline throughput decreases significantly with more ways...
+    assert baseline[-1] < baseline[0] / 4
+    # ...because evictions get proportionally more expensive.
+    assert eviction[-1] > eviction[0] * 8

@@ -1,0 +1,31 @@
+"""Table 1: efficiency and effectiveness of attack primitives.
+
+Prints the paper's qualitative property matrix alongside the *measured*
+cost of one direct-memory observation per primitive on the Table 2
+system — the quantitative story behind the check marks.
+"""
+
+from repro import System, SystemConfig
+from repro.attacks import TABLE1, measure_all
+
+
+def test_table1_attack_primitives(benchmark, result_table):
+    system = System(SystemConfig.paper_default())
+    latencies = benchmark.pedantic(
+        lambda: measure_all(System(SystemConfig.paper_default())),
+        rounds=1, iterations=1)
+    table = result_table(
+        "table1_primitives",
+        ["primitive", "no_cache_lookup", "no_excessive_accesses",
+         "timing_detectability", "isa_guarantee", "probe_cycles"],
+        title="Table 1: attack primitives (+ measured probe latency)")
+    for props in TABLE1:
+        row = props.row()
+        table.add(row["primitive"], row["no_cache_lookup"],
+                  row["no_excessive_accesses"], row["timing_detectability"],
+                  row["isa_guarantee"], latencies[props.name])
+    table.emit()
+    # The paper's bottom line: PiM operations dominate the matrix and are
+    # the cheapest full-DRAM observation among reliable primitives.
+    assert latencies["pim-operations"] < latencies["dma"]
+    assert latencies["pim-operations"] < latencies["eviction-sets"]

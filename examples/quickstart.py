@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: mount the IMPACT-PnM covert channel on the paper's system.
+
+Builds the Table 2 machine, transmits a secret message from a sender
+process to a receiver process through the shared DRAM row buffers using
+PIM-enabled instructions, and reports the channel quality — the §4.1
+attack in ~30 lines of API use.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import System, SystemConfig
+from repro.attacks import ImpactPnmChannel
+
+
+def text_to_bits(text: str) -> list:
+    return [(byte >> i) & 1 for byte in text.encode() for i in range(8)]
+
+
+def bits_to_text(bits: list) -> str:
+    data = bytearray()
+    for i in range(0, len(bits) - 7, 8):
+        data.append(sum(bit << j for j, bit in enumerate(bits[i:i + 8])))
+    return data.decode(errors="replace")
+
+
+def main() -> None:
+    # The simulated PiM-enabled machine from Table 2: 4-core 2.6 GHz x86,
+    # 3-level caches, DDR4-2400 with 64 banks, PEI + RowClone engines.
+    system = System(SystemConfig.paper_default())
+
+    secret = "PIM exfiltrates!"
+    message = text_to_bits(secret)
+    print(f"sender transmits {len(message)} bits: {secret!r}")
+
+    channel = ImpactPnmChannel(system)
+    result = channel.transmit(message)
+
+    print(f"receiver decoded: {bits_to_text(result.received)!r}")
+    print(result.summary())
+    print(f"  -> {result.throughput_mbps:.2f} Mb/s "
+          f"(paper: 12.87 Mb/s on this configuration)")
+    print(f"  -> cache hierarchy saw "
+          f"{system.hierarchy.stats.demand_accesses} demand accesses "
+          f"(the attack bypasses it entirely)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Analysis helpers shared by benches and examples: statistics and
+paper-style result tables."""
+
+from repro.analysis.coding import (
+    FecAssessment,
+    decode_stream,
+    encode_stream,
+    fec_assessment,
+    hamming74_decode,
+    hamming74_encode,
+)
+from repro.analysis.figures import bar_chart, grouped_bar_chart, latency_histogram
+from repro.analysis.report import ResultTable, format_table
+from repro.analysis.stats import LatencyStats, split_by_bit, summarize_latencies
+
+__all__ = [
+    "FecAssessment",
+    "LatencyStats",
+    "ResultTable",
+    "bar_chart",
+    "grouped_bar_chart",
+    "latency_histogram",
+    "decode_stream",
+    "encode_stream",
+    "fec_assessment",
+    "format_table",
+    "hamming74_decode",
+    "hamming74_encode",
+    "split_by_bit",
+    "summarize_latencies",
+]

@@ -1,0 +1,61 @@
+"""Latency statistics used by the PoC validation and benches."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: int
+    maximum: int
+    p50: float
+    p95: float
+
+    def summary(self) -> str:
+        return (f"n={self.count} mean={self.mean:.1f} sd={self.stdev:.1f} "
+                f"min={self.minimum} p50={self.p50:.0f} p95={self.p95:.0f} "
+                f"max={self.maximum}")
+
+
+def _percentile(ordered: Sequence[int], fraction: float) -> float:
+    if not ordered:
+        raise ValueError("empty sample")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = fraction * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, len(ordered) - 1)
+    weight = rank - lo
+    return ordered[lo] * (1 - weight) + ordered[hi] * weight
+
+
+def summarize_latencies(latencies: Sequence[int]) -> LatencyStats:
+    """Descriptive statistics of a latency sample (cycles)."""
+    if not latencies:
+        raise ValueError("empty latency sample")
+    ordered = sorted(latencies)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    variance = sum((x - mean) ** 2 for x in ordered) / n
+    return LatencyStats(count=n, mean=mean, stdev=math.sqrt(variance),
+                        minimum=ordered[0], maximum=ordered[-1],
+                        p50=_percentile(ordered, 0.5),
+                        p95=_percentile(ordered, 0.95))
+
+
+def split_by_bit(latencies: Sequence[int],
+                 bits: Sequence[int]) -> Tuple[List[int], List[int]]:
+    """Partition probe latencies by the transmitted bit (for Fig. 7)."""
+    if len(latencies) != len(bits):
+        raise ValueError("latencies and bits must align")
+    zeros = [lat for lat, bit in zip(latencies, bits) if bit == 0]
+    ones = [lat for lat, bit in zip(latencies, bits) if bit == 1]
+    return zeros, ones

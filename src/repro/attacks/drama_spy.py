@@ -1,0 +1,168 @@
+"""DRAMA's original side channel: spying on event timing (§2.3, [68]).
+
+DRAMA's headline demonstration leaks *keystroke timing*: the victim's
+input handler appends to a buffer on every keystroke, activating the
+buffer's DRAM row; an attacker that co-locates a row in the same bank and
+continuously probes it (flush + timed reload) sees a row-buffer conflict
+exactly when a keystroke landed in between.  Recovered inter-keystroke
+intervals feed classic typing-dynamics inference.
+
+Included here as the processor-centric counterpart to the §4.3 PiM side
+channel: same physical channel (the shared row buffer), but the probe
+path must fight the cache hierarchy — which is precisely the cost IMPACT
+eliminates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.scheduler import Context, Scheduler
+from repro.system import System
+
+#: Decode threshold for the attacker's timed reload (full cache-miss path).
+PROBE_THRESHOLD_CYCLES = 150
+
+
+@dataclass(frozen=True)
+class KeystrokeSpyResult:
+    """Recovered event timeline vs ground truth."""
+
+    true_times: Tuple[int, ...]
+    detected_times: Tuple[int, ...]
+    probe_period_cycles: float
+
+    @property
+    def matches(self) -> int:
+        """Events recovered within a few probe periods (the victim's
+        access latency plus one probe round trip)."""
+        tolerance = 3 * self.probe_period_cycles
+        detected = list(self.detected_times)
+        hits = 0
+        for true_time in self.true_times:
+            for i, det in enumerate(detected):
+                if abs(det - true_time) <= tolerance:
+                    hits += 1
+                    del detected[i]
+                    break
+        return hits
+
+    @property
+    def recall(self) -> float:
+        if not self.true_times:
+            return 1.0
+        return self.matches / len(self.true_times)
+
+    @property
+    def precision(self) -> float:
+        if not self.detected_times:
+            return 1.0
+        return self.matches / len(self.detected_times)
+
+    def interval_error_cycles(self) -> Optional[float]:
+        """Mean absolute error of recovered inter-event intervals (the
+        typing-dynamics signal), when counts line up."""
+        if (len(self.detected_times) != len(self.true_times)
+                or len(self.true_times) < 2):
+            return None
+        true_gaps = [b - a for a, b in zip(self.true_times,
+                                           self.true_times[1:])]
+        det_gaps = [b - a for a, b in zip(self.detected_times,
+                                          self.detected_times[1:])]
+        return sum(abs(t - d) for t, d in zip(true_gaps, det_gaps)) \
+            / len(true_gaps)
+
+
+class DramaKeystrokeSpy:
+    """Flush+reload row-buffer monitor over one shared bank."""
+
+    def __init__(self, system: System, bank: int = 0, victim_row: int = 400,
+                 attacker_row: int = 410,
+                 threshold_cycles: int = PROBE_THRESHOLD_CYCLES) -> None:
+        if victim_row == attacker_row:
+            raise ValueError("victim and attacker rows must differ")
+        self.system = system
+        self.bank = bank
+        self.victim_row = victim_row
+        self.attacker_row = attacker_row
+        self.threshold_cycles = threshold_cycles
+        self.probe_count = 0
+
+    def spy(self, event_times: Sequence[int]) -> KeystrokeSpyResult:
+        """Run victim and attacker concurrently; recover the event times.
+
+        ``event_times`` are the keystrokes' virtual times (ascending).
+        """
+        times = sorted(event_times)
+        system = self.system
+        line = system.config.hierarchy.line_bytes
+        attacker_addr = system.address_of(self.bank, self.attacker_row)
+        detected: List[int] = []
+        state = {"done_at": None}
+        probe_times: List[int] = []
+
+        def victim(ctx: Context, sys_: System):
+            for i, event_time in enumerate(times):
+                ctx.advance_to(event_time)
+                # Checkpoint after the idle jump so lower-time threads
+                # (the attacker's probes) run before this access lands.
+                yield None
+                # The handler appends to its buffer: a fresh line in the
+                # victim row each keystroke => a real DRAM activation.
+                offset = (i * line) % sys_.config.geometry.row_bytes
+                addr = sys_.address_of(self.bank, self.victim_row, offset)
+                sys_.load(ctx, core=0, addr=addr, is_write=True,
+                          requestor="victim")
+                yield None
+            state["done_at"] = ctx.now
+
+        def attacker(ctx: Context, sys_: System):
+            timer = sys_.new_timer()
+            # Open the attacker's row once.
+            sys_.load(ctx, core=1, addr=attacker_addr, requestor="attacker")
+            sys_.clflush(ctx, core=1, addr=attacker_addr,
+                         requestor="attacker")
+            yield None
+            while state["done_at"] is None or ctx.now < state["done_at"]:
+                timer.start(ctx)
+                sys_.load(ctx, core=1, addr=attacker_addr,
+                          requestor="attacker")
+                latency = timer.stop(ctx)
+                self.probe_count += 1
+                probe_times.append(ctx.now)
+                if latency > self.threshold_cycles:
+                    detected.append(ctx.now)
+                sys_.clflush(ctx, core=1, addr=attacker_addr,
+                             requestor="attacker")
+                yield None
+
+        sched = Scheduler()
+        sched.spawn(victim, system, name="victim")
+        sched.spawn(attacker, system, name="attacker")
+        sched.run()
+        if len(probe_times) >= 2:
+            period = ((probe_times[-1] - probe_times[0])
+                      / (len(probe_times) - 1))
+        else:
+            period = 1.0
+        # Drop the warm-up detection (the first probe conflicts with the
+        # victim row only if an event preceded it).
+        return KeystrokeSpyResult(true_times=tuple(times),
+                                  detected_times=tuple(detected),
+                                  probe_period_cycles=period)
+
+
+def poisson_keystrokes(count: int, mean_gap_cycles: int = 50_000,
+                       start: int = 10_000, seed: int = 0) -> List[int]:
+    """A human-ish keystroke schedule (exponential inter-arrival)."""
+    if count < 0 or mean_gap_cycles < 1:
+        raise ValueError("count >= 0 and mean_gap_cycles >= 1 required")
+    rng = random.Random(seed)
+    times: List[int] = []
+    now = start
+    for _ in range(count):
+        now += max(1, int(rng.expovariate(1.0 / mean_gap_cycles)))
+        times.append(now)
+    return times

@@ -1,0 +1,217 @@
+"""IMPACT-PuM: the RowClone-based covert channel (§4.2, Listing 2).
+
+Protocol, per N-bit round (N = number of banks):
+
+1. The receiver initializes all banks with one full-mask RowClone; both
+   sides meet at barrier 1.
+2. The sender encodes the round's N bits in a RowClone *mask* and issues a
+   single masked RowClone: selected banks get their row buffer perturbed in
+   parallel; both sides meet at barrier 2.
+3. The receiver probes each bank with a single-bank RowClone whose source
+   is the row it last left open there, timing each probe: an
+   above-threshold latency means the sender's clone displaced the open row
+   (the extra precharge) => logic-1.
+
+The sender's entire round is one operation — that parallelism is the
+advantage over IMPACT-PnM (§4.2) and the 14x sender speedup of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.attacks.channel import (
+    BARRIER_OP_CYCLES,
+    DECODE_CYCLES,
+    LOOP_OVERHEAD_CYCLES,
+    ChannelResult,
+    CovertChannel,
+)
+from repro.pim.rowclone import RowCloneEngine
+from repro.sim.scheduler import Barrier, Context, Scheduler
+from repro.system import System
+
+#: Receiver-side row schedule: probes alternate between these rows so the
+#: probe source always matches what the receiver last left open.
+_RECEIVER_ROWS = (20, 30)
+#: Sender-side rows: the masked clone leaves _SENDER_DST open (a conflict
+#: for any receiver probe).
+_SENDER_SRC = 200
+_SENDER_DST = 210
+_RECEIVER_INIT_SRC = 10
+
+
+class ImpactPumChannel(CovertChannel):
+    """The IMPACT-PuM covert channel (§4.2)."""
+
+    name = "IMPACT-PuM"
+
+    def __init__(self, system: System, threshold_cycles: int = 150) -> None:
+        super().__init__(system, threshold_cycles)
+        self.num_banks = system.num_banks
+        if self.num_banks > 64:
+            # RowClone masks are arbitrary-width ints; this cap only keeps
+            # rounds (and thus barrier overhead amortization) reasonable.
+            self.num_banks = 64
+
+    def transmit(self, bits: Sequence[int]) -> ChannelResult:
+        message = self.check_bits(bits)
+        system = self.system
+        engine = system.rowclone_engine
+        n = self.num_banks
+        rounds = [message[i:i + n] for i in range(0, len(message), n)]
+
+        sched = Scheduler()
+        barrier_1 = Barrier(parties=2, name="round-start")
+        barrier_2 = Barrier(parties=2, name="sent")
+        received: List[int] = []
+        probe_latencies: List[int] = []
+        window = {"t0": 0, "t1": 0, "noise_mark": 0}
+
+        src_s = system.address_of(bank=0, row=_SENDER_SRC)
+        dst_s = system.address_of(bank=0, row=_SENDER_DST)
+
+        def sender(ctx: Context, sys_: System):
+            for round_bits in rounds:
+                ctx.advance(BARRIER_OP_CYCLES)
+                yield barrier_1.wait()
+                mask = RowCloneEngine.mask_from_bits(list(round_bits))
+                if mask:
+                    sys_.rowclone(ctx, src_s, dst_s, mask, requestor="sender")
+                ctx.advance(BARRIER_OP_CYCLES)
+                yield barrier_2.wait()
+
+        def receiver(ctx: Context, sys_: System):
+            # Step 1: initialize all banks with a single RowClone.
+            init_src = sys_.address_of(bank=0, row=_RECEIVER_INIT_SRC)
+            init_dst = sys_.address_of(bank=0, row=_RECEIVER_ROWS[0])
+            full_mask = (1 << n) - 1
+            sys_.rowclone(ctx, init_src, init_dst, full_mask,
+                          requestor="receiver")
+            yield None
+            window["t0"] = ctx.now
+            window["noise_mark"] = ctx.now
+            timer = sys_.new_timer()
+            parity = 0
+            for round_bits in rounds:
+                ctx.advance(BARRIER_OP_CYCLES)
+                yield barrier_1.wait()
+                ctx.advance(BARRIER_OP_CYCLES)
+                yield barrier_2.wait()
+                src_row = _RECEIVER_ROWS[parity]
+                dst_row = _RECEIVER_ROWS[1 - parity]
+                src = sys_.address_of(bank=0, row=src_row)
+                dst = sys_.address_of(bank=0, row=dst_row)
+                for bank in range(len(round_bits)):
+                    sys_.noise.run(window["noise_mark"], ctx.now)
+                    window["noise_mark"] = ctx.now
+                    timer.start(ctx)
+                    sys_.rowclone(ctx, src, dst, 1 << bank,
+                                  requestor="receiver")
+                    latency = timer.stop(ctx)
+                    probe_latencies.append(latency)
+                    received.append(self.decode(latency))
+                    ctx.advance(DECODE_CYCLES + LOOP_OVERHEAD_CYCLES)
+                    yield None
+                parity = 1 - parity
+            window["t1"] = ctx.now
+
+        sched.spawn(sender, system, name="sender")
+        sched.spawn(receiver, system, name="receiver")
+        sched.run()
+        cycles = window["t1"] - window["t0"]
+        return self.make_result(message, received, cycles, probe_latencies)
+
+    # ------------------------------------------------------------------
+    # Fig. 9 support
+    # ------------------------------------------------------------------
+
+    def sender_receiver_breakdown(self, bits: int = 16, seed: int = 0) -> dict:
+        """Cycles the sender spends sending vs the receiver reading one
+        fully-encoded (all-ones) ``bits``-bit message (Fig. 9)."""
+        message = [1] * bits
+        system = self.system
+        engine = system.rowclone_engine
+        mask = RowCloneEngine.mask_from_bits(message)
+        src_s = system.address_of(bank=0, row=_SENDER_SRC)
+        dst_s = system.address_of(bank=0, row=_SENDER_DST)
+
+        sched = Scheduler()
+        times = {}
+
+        def body(ctx: Context, sys_: System):
+            init_src = sys_.address_of(bank=0, row=_RECEIVER_INIT_SRC)
+            init_dst = sys_.address_of(bank=0, row=_RECEIVER_ROWS[0])
+            sys_.rowclone(ctx, init_src, init_dst, (1 << bits) - 1,
+                          requestor="receiver")
+            yield None
+            t0 = ctx.now
+            if mask:
+                sys_.rowclone(ctx, src_s, dst_s, mask, requestor="sender")
+            times["send_cycles"] = ctx.now - t0
+            t1 = ctx.now
+            timer = sys_.new_timer()
+            src = sys_.address_of(bank=0, row=_RECEIVER_ROWS[0])
+            dst = sys_.address_of(bank=0, row=_RECEIVER_ROWS[1])
+            for bank in range(bits):
+                timer.start(ctx)
+                sys_.rowclone(ctx, src, dst, 1 << bank, requestor="receiver")
+                timer.stop(ctx)
+                ctx.advance(DECODE_CYCLES + LOOP_OVERHEAD_CYCLES)
+                yield None
+            times["read_cycles"] = ctx.now - t1
+
+        sched.spawn(body, system, name="breakdown")
+        sched.run()
+        return times
+
+    # ------------------------------------------------------------------
+    # Threshold calibration
+    # ------------------------------------------------------------------
+
+    def calibrate_threshold(self, samples: int = 8) -> int:
+        """Measure quiet vs perturbed RowClone probe latencies and set the
+        decode threshold to their midpoint (the PuM analogue of
+        :meth:`ImpactPnmChannel.calibrate_threshold`)."""
+        if samples < 1:
+            raise ValueError("samples must be >= 1")
+        system = self.system
+        quiet: List[int] = []
+        perturbed: List[int] = []
+        sched = Scheduler()
+        rows = (240, 250, 260)
+
+        def body(ctx: Context, sys_: System):
+            timer = sys_.new_timer()
+            src = sys_.address_of(bank=0, row=rows[0])
+            dst = sys_.address_of(bank=0, row=rows[1])
+            alt = sys_.address_of(bank=0, row=rows[2])
+            sys_.rowclone(ctx, src, dst, 0b1, requestor="calibrate")
+            for i in range(samples):
+                # Quiet probe: source row is what we last left open.
+                a, b = (dst, src) if i % 2 == 0 else (src, dst)
+                timer.start(ctx)
+                sys_.rowclone(ctx, a, b, 0b1, requestor="calibrate")
+                quiet.append(timer.stop(ctx))
+                ctx.advance(200)
+                yield None
+            for i in range(samples):
+                # Perturb the row buffer, then probe.
+                sys_.controller.activate(0, rows[2] + 20 + i, ctx.now,
+                                         requestor="calibrate")
+                a, b = (dst, src) if i % 2 == 0 else (src, dst)
+                timer.start(ctx)
+                sys_.rowclone(ctx, a, b, 0b1, requestor="calibrate")
+                perturbed.append(timer.stop(ctx))
+                ctx.advance(200)
+                yield None
+
+        sched.spawn(body, system, name="calibrate")
+        sched.run()
+        quiet_mean = sum(quiet) / len(quiet)
+        perturbed_mean = sum(perturbed) / len(perturbed)
+        if perturbed_mean <= quiet_mean:
+            raise RuntimeError(
+                "calibration found no usable timing gap (defended system?)")
+        self.threshold_cycles = int(round((quiet_mean + perturbed_mean) / 2))
+        return self.threshold_cycles

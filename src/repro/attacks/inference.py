@@ -1,0 +1,143 @@
+"""Step 4 of the §4.3 attack: from leaked banks to genome inference.
+
+The side channel (Fig. 6, steps 1-3) leaks *which bank* each of the
+victim's hash-table probes touched.  This module implements the
+completion step the paper defers to imputation literature [110-113] in
+its simplest concrete form: because the index layout is public (every
+user of the mapping tool shares it), the attacker can *predict* the bank
+sequence any candidate genome region would produce — and match the leak
+against those predictions to identify where the victim's read came from.
+
+The precision discussion of §5.4 becomes measurable here: more banks =>
+fewer candidate buckets per bank => sharper predicted sequences => the
+correct region separates from the decoys faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.genomics.index import ReferenceIndex
+from repro.genomics.minimizers import extract_minimizers
+
+
+def longest_common_subsequence(a: Sequence[int], b: Sequence[int]) -> int:
+    """LCS length — order-preserving overlap of two bank sequences."""
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    for x in a:
+        current = [0]
+        for j, y in enumerate(b, start=1):
+            if x == y:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[-1]))
+        previous = current
+    return previous[-1]
+
+
+@dataclass(frozen=True)
+class RegionScore:
+    """How well one candidate region explains the leak."""
+
+    region_start: int
+    score: float
+    predicted_banks: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class IdentificationResult:
+    """Ranking of candidate regions against one leaked sequence."""
+
+    ranking: Tuple[RegionScore, ...]
+
+    @property
+    def best(self) -> RegionScore:
+        return self.ranking[0]
+
+    def rank_of(self, region_start: int, tolerance: int = 0) -> Optional[int]:
+        """1-based rank of the candidate at/near ``region_start``."""
+        for i, entry in enumerate(self.ranking, start=1):
+            if abs(entry.region_start - region_start) <= tolerance:
+                return i
+        return None
+
+    @property
+    def margin(self) -> float:
+        """Score gap between the best and second-best candidate."""
+        if len(self.ranking) < 2:
+            return self.ranking[0].score if self.ranking else 0.0
+        return self.ranking[0].score - self.ranking[1].score
+
+
+class ReadIdentifier:
+    """Matches leaked bank sequences against candidate reference regions."""
+
+    def __init__(self, reference: str, index: ReferenceIndex,
+                 read_length: int = 150) -> None:
+        if read_length < index.k:
+            raise ValueError("read_length must cover at least one k-mer")
+        self.reference = reference
+        self.index = index
+        self.read_length = read_length
+        self._prediction_cache: Dict[int, Tuple[int, ...]] = {}
+
+    def predicted_banks(self, region_start: int) -> Tuple[int, ...]:
+        """The bank sequence a read from ``region_start`` would probe.
+
+        Derived entirely from public information: the reference sequence
+        and the shared index layout."""
+        if not 0 <= region_start <= len(self.reference) - self.read_length:
+            raise ValueError(f"region {region_start} out of range")
+        cached = self._prediction_cache.get(region_start)
+        if cached is not None:
+            return cached
+        fragment = self.reference[region_start:region_start + self.read_length]
+        banks: List[int] = []
+        for minimizer in extract_minimizers(fragment, k=self.index.k,
+                                            w=self.index.w):
+            location = self.index.location_of_hash(minimizer.hash_value)
+            if location is not None:
+                banks.append(location.bank)
+        result = tuple(banks)
+        self._prediction_cache[region_start] = result
+        return result
+
+    def score_region(self, leaked_banks: Sequence[int],
+                     region_start: int) -> RegionScore:
+        """Normalized order-preserving overlap between leak and prediction."""
+        predicted = self.predicted_banks(region_start)
+        if not predicted or not leaked_banks:
+            return RegionScore(region_start=region_start, score=0.0,
+                               predicted_banks=predicted)
+        overlap = longest_common_subsequence(list(leaked_banks),
+                                             list(predicted))
+        score = overlap / max(len(predicted), len(leaked_banks))
+        return RegionScore(region_start=region_start, score=score,
+                           predicted_banks=predicted)
+
+    def identify(self, leaked_banks: Sequence[int],
+                 candidate_starts: Sequence[int]) -> IdentificationResult:
+        """Rank candidate regions by how well they explain the leak."""
+        if not candidate_starts:
+            raise ValueError("need at least one candidate region")
+        scores = [self.score_region(leaked_banks, start)
+                  for start in candidate_starts]
+        scores.sort(key=lambda s: (-s.score, s.region_start))
+        return IdentificationResult(ranking=tuple(scores))
+
+    def identification_accuracy(self,
+                                trials: Sequence[Tuple[Sequence[int], int]],
+                                candidate_starts: Sequence[int],
+                                tolerance: int = 0) -> float:
+        """Fraction of (leak, true_region) trials ranked first."""
+        if not trials:
+            return 0.0
+        hits = 0
+        for leaked_banks, true_start in trials:
+            result = self.identify(leaked_banks, candidate_starts)
+            if result.rank_of(true_start, tolerance=tolerance) == 1:
+                hits += 1
+        return hits / len(trials)

@@ -1,0 +1,42 @@
+"""Cache hierarchy substrate.
+
+Models the processor-side structures that stand between an attacker and
+main memory (§3.2): a three-level set-associative hierarchy with LRU/SRRIP
+replacement, IP-stride and streamer prefetchers (noise sources, §5.1), a
+CACTI-style LLC latency model (used by the Fig. 2/3 size and way sweeps),
+and the cache-management operations attacks build on (``clflush``,
+eviction sets, non-temporal hints).
+"""
+
+from repro.cache.cacti import llc_latency_cycles
+from repro.cache.cache import Cache, CacheConfig, EvictedLine
+from repro.cache.hierarchy import (
+    CacheHierarchy,
+    HierarchyConfig,
+    HierarchyResult,
+)
+from repro.cache.prefetcher import IPStridePrefetcher, StreamerPrefetcher
+from repro.cache.replacement import (
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    SRRIPPolicy,
+    make_replacement_policy,
+)
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "EvictedLine",
+    "HierarchyConfig",
+    "HierarchyResult",
+    "IPStridePrefetcher",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SRRIPPolicy",
+    "StreamerPrefetcher",
+    "llc_latency_cycles",
+    "make_replacement_policy",
+]

@@ -1,0 +1,193 @@
+"""A single set-associative write-back cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cache.replacement import ReplacementPolicy, make_replacement_policy
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and behaviour of one cache level.
+
+    Attributes:
+        name: label used in stats/telemetry (e.g. ``"L2"``).
+        size_bytes: total capacity.
+        ways: associativity.
+        line_bytes: cache-line size (64 everywhere in Table 2).
+        latency_cycles: lookup latency paid by every probe of this level.
+        replacement: ``lru`` / ``srrip`` / ``random``.
+    """
+
+    name: str
+    size_bytes: int
+    ways: int
+    latency_cycles: int
+    line_bytes: int = 64
+    replacement: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < self.line_bytes:
+            raise ValueError("cache smaller than one line")
+        if self.ways < 1:
+            raise ValueError("ways must be >= 1")
+        if self.latency_cycles < 0:
+            raise ValueError("latency must be >= 0")
+        if self.size_bytes % (self.line_bytes * self.ways) != 0:
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"line*ways = {self.line_bytes * self.ways}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+@dataclass(frozen=True)
+class EvictedLine:
+    """A line pushed out of a cache by a fill."""
+
+    addr: int  # line-aligned byte address
+    dirty: bool
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class Cache:
+    """One cache level; addresses are physical byte addresses."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        sets = config.num_sets
+        ways = config.ways
+        self._tags: List[List[int]] = [[-1] * ways for _ in range(sets)]
+        self._valid: List[List[bool]] = [[False] * ways for _ in range(sets)]
+        self._dirty: List[List[bool]] = [[False] * ways for _ in range(sets)]
+        self._policy: ReplacementPolicy = make_replacement_policy(
+            config.replacement, sets, ways)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+
+    def line_of(self, addr: int) -> int:
+        return addr // self.config.line_bytes
+
+    def set_index_of(self, addr: int) -> int:
+        return self.line_of(addr) % self.config.num_sets
+
+    def line_addr(self, addr: int) -> int:
+        return self.line_of(addr) * self.config.line_bytes
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def _find(self, addr: int) -> Optional[int]:
+        line = self.line_of(addr)
+        set_index = line % self.config.num_sets
+        tags = self._tags[set_index]
+        valid = self._valid[set_index]
+        for way in range(self.config.ways):
+            if valid[way] and tags[way] == line:
+                return way
+        return None
+
+    def probe(self, addr: int) -> bool:
+        """Presence check with no replacement-state side effects."""
+        return self._find(addr) is not None
+
+    def access(self, addr: int, is_write: bool = False) -> bool:
+        """Look up ``addr``; returns True on hit (updates replacement and
+        dirty state). A miss does NOT allocate — call :meth:`fill`."""
+        set_index = self.set_index_of(addr)
+        way = self._find(addr)
+        if way is not None:
+            self._policy.on_hit(set_index, way)
+            if is_write:
+                self._dirty[set_index][way] = True
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, addr: int, dirty: bool = False) -> Optional[EvictedLine]:
+        """Allocate ``addr``'s line, evicting a victim if the set is full.
+
+        Returns the evicted line (for writeback/back-invalidation) or None.
+        Filling a line that is already present just refreshes its state.
+        """
+        set_index = self.set_index_of(addr)
+        line = self.line_of(addr)
+        existing = self._find(addr)
+        if existing is not None:
+            self._policy.on_hit(set_index, existing)
+            if dirty:
+                self._dirty[set_index][existing] = True
+            return None
+        valid = self._valid[set_index]
+        way = self._policy.victim(set_index, valid)
+        evicted: Optional[EvictedLine] = None
+        if valid[way]:
+            evicted_line = self._tags[set_index][way]
+            evicted = EvictedLine(
+                addr=evicted_line * self.config.line_bytes,
+                dirty=self._dirty[set_index][way],
+            )
+            self.stats.evictions += 1
+            if evicted.dirty:
+                self.stats.writebacks += 1
+        self._tags[set_index][way] = line
+        self._valid[set_index][way] = True
+        self._dirty[set_index][way] = dirty
+        self._policy.on_fill(set_index, way)
+        self.stats.fills += 1
+        return evicted
+
+    def invalidate(self, addr: int) -> Optional[bool]:
+        """Remove ``addr``'s line if present; returns its dirty bit
+        (None if the line was not present). Used by clflush and by
+        back-invalidation from an inclusive LLC."""
+        set_index = self.set_index_of(addr)
+        way = self._find(addr)
+        if way is None:
+            return None
+        dirty = self._dirty[set_index][way]
+        self._valid[set_index][way] = False
+        self._dirty[set_index][way] = False
+        self._tags[set_index][way] = -1
+        self.stats.invalidations += 1
+        return dirty
+
+    def resident_lines(self, set_index: int) -> List[int]:
+        """Line addresses currently resident in ``set_index`` (testing aid)."""
+        result = []
+        for way in range(self.config.ways):
+            if self._valid[set_index][way]:
+                result.append(self._tags[set_index][way] * self.config.line_bytes)
+        return result
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.config.latency_cycles

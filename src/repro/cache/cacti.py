@@ -1,0 +1,32 @@
+"""CACTI-style LLC access-latency model.
+
+Figures 2 and 3 sweep LLC size (2-64 MB at 16 ways) and associativity
+(2-128 ways at 16 MB) and need the lookup latency to grow with both — that
+growth is what collapses the throughput of cache-mediated covert channels.
+The paper follows the CACTI 6.0 methodology [92]; we fit the same shape
+(wire-delay ~ sqrt(area), way-mux/compare ~ log(ways)) and calibrate to
+Table 2's 32-cycle figure for the default 16 MB, 16-way LLC.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Calibrated so that llc_latency_cycles(16, 16) == 32 (Table 2).
+_BASE_CYCLES = 8.0
+_SIZE_COEFF = 4.2  # cycles per sqrt(MB): bitline/wire delay grows with area
+_WAY_COEFF = 1.8   # cycles per doubling of ways: tag compare + way mux
+
+
+def llc_latency_cycles(size_mb: float, ways: int) -> int:
+    """Access latency (CPU cycles) of an LLC of ``size_mb`` MB, ``ways``-way.
+
+    >>> llc_latency_cycles(16, 16)
+    32
+    """
+    if size_mb <= 0:
+        raise ValueError("size_mb must be positive")
+    if ways < 1:
+        raise ValueError("ways must be >= 1")
+    latency = _BASE_CYCLES + _SIZE_COEFF * math.sqrt(size_mb) + _WAY_COEFF * math.log2(ways)
+    return int(round(latency))

@@ -1,0 +1,402 @@
+"""Three-level cache hierarchy in front of the memory controller.
+
+Implements the processor-side path of Table 2: per-core L1D and L2, a
+shared inclusive LLC, prefetchers, and the cache-management operations the
+attacks of §3.2/§5.1 rely on:
+
+- demand loads/stores (the deep-lookup path that throttles DRAMA-style
+  attacks),
+- ``clflush`` (probes the LLC, write-back on the critical path),
+- non-temporal accesses (bypass is *not* guaranteed — configurable
+  probability, matching Table 1's "ISA guarantees: X"),
+- inclusive back-invalidation (an LLC eviction removes the line from every
+  upper level — this is what makes eviction sets work at all).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cache.cache import Cache, CacheConfig, EvictedLine
+from repro.cache.cacti import llc_latency_cycles
+from repro.cache.prefetcher import IPStridePrefetcher, StreamerPrefetcher
+from repro.dram.controller import MemoryController, MemoryResult
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache hierarchy parameters (defaults follow Table 2).
+
+    The LLC lookup latency defaults to the CACTI model's value for
+    (``llc_size_mb``, ``llc_ways``) so the Fig. 2/3 sweeps only need to vary
+    the size/ways fields.
+    """
+
+    num_cores: int = 4
+    line_bytes: int = 64
+    l1_size_kb: int = 32
+    l1_ways: int = 8
+    l1_latency: int = 4
+    l1_replacement: str = "lru"
+    l2_size_kb: int = 1024
+    l2_ways: int = 16
+    l2_latency: int = 12
+    l2_replacement: str = "srrip"
+    llc_size_mb: float = 8.0  # Table 2: 2 MB/core x 4 cores
+    llc_ways: int = 16
+    llc_latency: Optional[int] = None  # None -> CACTI model
+    llc_replacement: str = "srrip"
+    prefetchers_enabled: bool = True
+    nt_bypass_probability: float = 0.7
+    nt_seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        if not 0.0 <= self.nt_bypass_probability <= 1.0:
+            raise ValueError("nt_bypass_probability must be within [0, 1]")
+
+    @property
+    def llc_latency_cycles(self) -> int:
+        if self.llc_latency is not None:
+            return self.llc_latency
+        return llc_latency_cycles(self.llc_size_mb, self.llc_ways)
+
+
+@dataclass(frozen=True)
+class HierarchyResult:
+    """Outcome of one access through the hierarchy.
+
+    ``hit_level`` is 1/2/3 for a cache hit, 0 for a main-memory access.
+    ``mem`` carries the DRAM result when the access reached memory.
+    """
+
+    latency: int
+    issued: int
+    hit_level: int
+    mem: Optional[MemoryResult] = None
+    writebacks: int = 0
+    bypassed: bool = False
+
+    @property
+    def finish(self) -> int:
+        return self.issued + self.latency
+
+
+@dataclass
+class RequestorCacheStats:
+    """Per-requestor cache-event counters (what a hardware performance
+    monitoring unit exposes — the §3 detection mechanisms' only input)."""
+
+    accesses: int = 0
+    llc_misses: int = 0
+    clflushes: int = 0
+    nt_accesses: int = 0
+    first_seen_cycle: int = 0
+    last_seen_cycle: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.llc_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def window_cycles(self) -> int:
+        return max(1, self.last_seen_cycle - self.first_seen_cycle)
+
+
+@dataclass
+class HierarchyStats:
+    demand_accesses: int = 0
+    prefetches_issued: int = 0
+    clflushes: int = 0
+    nt_accesses: int = 0
+    nt_bypasses: int = 0
+    memory_writebacks: int = 0
+    late_prefetch_stalls: int = 0
+    by_requestor: dict = field(default_factory=dict)
+
+    def requestor(self, name: str) -> RequestorCacheStats:
+        stats = self.by_requestor.get(name)
+        if stats is None:
+            stats = RequestorCacheStats()
+            self.by_requestor[name] = stats
+        return stats
+
+    def observe(self, requestor: str, time: int, *, miss: bool = False,
+                clflush: bool = False, nt: bool = False) -> None:
+        stats = self.requestor(requestor)
+        if stats.accesses == 0 and stats.clflushes == 0:
+            stats.first_seen_cycle = time
+        stats.last_seen_cycle = max(stats.last_seen_cycle, time)
+        if clflush:
+            stats.clflushes += 1
+        else:
+            stats.accesses += 1
+            if miss:
+                stats.llc_misses += 1
+            if nt:
+                stats.nt_accesses += 1
+
+
+class CacheHierarchy:
+    """Per-core L1/L2 plus a shared inclusive LLC over a memory controller."""
+
+    def __init__(self, config: HierarchyConfig,
+                 controller: MemoryController) -> None:
+        self.config = config
+        self.controller = controller
+        line = config.line_bytes
+        self.l1: List[Cache] = [
+            Cache(CacheConfig(name=f"L1-{core}", size_bytes=config.l1_size_kb * 1024,
+                              ways=config.l1_ways, latency_cycles=config.l1_latency,
+                              line_bytes=line, replacement=config.l1_replacement))
+            for core in range(config.num_cores)
+        ]
+        self.l2: List[Cache] = [
+            Cache(CacheConfig(name=f"L2-{core}", size_bytes=config.l2_size_kb * 1024,
+                              ways=config.l2_ways, latency_cycles=config.l2_latency,
+                              line_bytes=line, replacement=config.l2_replacement))
+            for core in range(config.num_cores)
+        ]
+        self.llc = Cache(CacheConfig(
+            name="LLC", size_bytes=int(config.llc_size_mb * 1024 * 1024),
+            ways=config.llc_ways, latency_cycles=config.llc_latency_cycles,
+            line_bytes=line, replacement=config.llc_replacement))
+        if config.prefetchers_enabled:
+            self._l1_prefetchers = [IPStridePrefetcher(line_bytes=line)
+                                    for _ in range(config.num_cores)]
+            self._l2_prefetchers = [StreamerPrefetcher(line_bytes=line)
+                                    for _ in range(config.num_cores)]
+        else:
+            self._l1_prefetchers = []
+            self._l2_prefetchers = []
+        self._nt_rng = random.Random(config.nt_seed)
+        # Lines being filled by in-flight prefetches: line addr -> DRAM
+        # completion time.  A demand access that hits such a line before
+        # the fill lands stalls for the remainder (a "late prefetch") —
+        # this is how row-policy latency reaches prefetch-covered streams.
+        self._inflight_fills: "OrderedDict[int, int]" = OrderedDict()
+        self.stats = HierarchyStats()
+
+    # ------------------------------------------------------------------
+    # Demand path
+    # ------------------------------------------------------------------
+
+    def access(self, core: int, addr: int, issued: int, *,
+               is_write: bool = False, pc: Optional[int] = None,
+               requestor: str = "cpu") -> HierarchyResult:
+        """A demand load/store by ``core`` at physical address ``addr``."""
+        self.stats.demand_accesses += 1
+        l1, l2 = self.l1[core], self.l2[core]
+        stall = self._late_prefetch_stall(addr, issued)
+        latency = stall + l1.latency_cycles
+        writebacks = 0
+        if l1.access(addr, is_write=is_write):
+            result = HierarchyResult(latency=latency, issued=issued, hit_level=1)
+        else:
+            latency += l2.latency_cycles
+            if l2.access(addr):
+                writebacks += self._fill_l1(core, addr, is_write)
+                result = HierarchyResult(latency=latency, issued=issued,
+                                         hit_level=2, writebacks=writebacks)
+            else:
+                latency += self.llc.latency_cycles
+                if self.llc.access(addr):
+                    writebacks += self._fill_upper(core, addr, is_write)
+                    result = HierarchyResult(latency=latency, issued=issued,
+                                             hit_level=3, writebacks=writebacks)
+                else:
+                    mem = self.controller.access(addr, issued + latency,
+                                                 requestor=requestor,
+                                                 is_write=is_write)
+                    latency += mem.latency
+                    writebacks += self._fill_all(core, addr, is_write,
+                                                 time=issued + latency,
+                                                 requestor=requestor)
+                    result = HierarchyResult(latency=latency, issued=issued,
+                                             hit_level=0, mem=mem,
+                                             writebacks=writebacks)
+        self.stats.observe(requestor, issued, miss=result.hit_level == 0)
+        self._run_prefetchers(core, addr, pc, issued + result.latency, requestor)
+        return result
+
+    def _fill_l1(self, core: int, addr: int, is_write: bool) -> int:
+        evicted = self.l1[core].fill(addr, dirty=is_write)
+        if evicted is not None and evicted.dirty:
+            self.l2[core].fill(evicted.addr, dirty=True)
+            return 1
+        return 0
+
+    def _fill_upper(self, core: int, addr: int, is_write: bool) -> int:
+        writebacks = 0
+        evicted = self.l2[core].fill(addr)
+        if evicted is not None and evicted.dirty:
+            self.llc.fill(evicted.addr, dirty=True)
+            writebacks += 1
+        writebacks += self._fill_l1(core, addr, is_write)
+        return writebacks
+
+    def _fill_all(self, core: int, addr: int, is_write: bool, *, time: int,
+                  requestor: str) -> int:
+        writebacks = 0
+        evicted = self.llc.fill(addr)
+        if evicted is not None:
+            writebacks += self._handle_llc_eviction(evicted, time, requestor)
+        writebacks += self._fill_upper(core, addr, is_write)
+        return writebacks
+
+    def _handle_llc_eviction(self, evicted: EvictedLine, time: int,
+                             requestor: str) -> int:
+        """Inclusive LLC: back-invalidate every upper level; write back
+        dirty data to DRAM off the critical path."""
+        dirty = evicted.dirty
+        for core_caches in (self.l1, self.l2):
+            for cache in core_caches:
+                upper_dirty = cache.invalidate(evicted.addr)
+                if upper_dirty:
+                    dirty = True
+        if dirty:
+            self.controller.access(evicted.addr, time, requestor=requestor,
+                                   is_write=True)
+            self.stats.memory_writebacks += 1
+            return 1
+        return 0
+
+    def _late_prefetch_stall(self, addr: int, issued: int) -> int:
+        """Cycles a demand access waits for an in-flight prefetch fill."""
+        line = self.llc.line_addr(addr)
+        completion = self._inflight_fills.pop(line, None)
+        if completion is None:
+            return 0
+        self.stats.late_prefetch_stalls += 1
+        return max(0, completion - issued)
+
+    # ------------------------------------------------------------------
+    # Prefetchers (noise sources)
+    # ------------------------------------------------------------------
+
+    def _run_prefetchers(self, core: int, addr: int, pc: Optional[int],
+                         time: int, requestor: str) -> None:
+        if not self._l1_prefetchers:
+            return
+        candidates = []
+        candidates.extend(self._l1_prefetchers[core].observe(pc, addr))
+        candidates.extend(self._l2_prefetchers[core].observe(pc, addr))
+        capacity = self.controller.config.geometry.capacity_bytes
+        for prefetch_addr in candidates:
+            if not 0 <= prefetch_addr < capacity:
+                continue
+            line_addr = self.llc.line_addr(prefetch_addr)
+            if self.llc.probe(line_addr):
+                continue
+            # Prefetches run off the demand critical path but do touch DRAM
+            # (and thus perturb row buffers — the noise the attacks battle).
+            mem = self.controller.access(line_addr, time,
+                                         requestor=f"{requestor}-pf")
+            self._inflight_fills[line_addr] = mem.finish
+            while len(self._inflight_fills) > 512:
+                self._inflight_fills.popitem(last=False)
+            evicted = self.llc.fill(line_addr)
+            if evicted is not None:
+                self._handle_llc_eviction(evicted, time, requestor)
+            self.l2[core].fill(line_addr)
+            self.stats.prefetches_issued += 1
+
+    # ------------------------------------------------------------------
+    # Cache management operations (attack primitives)
+    # ------------------------------------------------------------------
+
+    def clflush(self, core: int, addr: int, issued: int, *,
+                requestor: str = "cpu") -> HierarchyResult:
+        """Flush ``addr``'s line from the whole hierarchy.
+
+        Latency model per §5.1's DRAMA-clflush: the flush probes the LLC;
+        if any copy is dirty the write-back to DRAM lands on the critical
+        path (§3.2: that write-back latency is clflush's key cost)."""
+        self.stats.clflushes += 1
+        self.stats.observe(requestor, issued, clflush=True)
+        latency = self.llc.latency_cycles
+        dirty = False
+        for cache in (self.l1[core], self.l2[core], self.llc):
+            line_dirty = cache.invalidate(addr)
+            if line_dirty:
+                dirty = True
+        # Copies in other cores' private caches must go too (coherence).
+        for other in range(self.config.num_cores):
+            if other == core:
+                continue
+            for cache in (self.l1[other], self.l2[other]):
+                if cache.invalidate(addr):
+                    dirty = True
+        mem: Optional[MemoryResult] = None
+        writebacks = 0
+        if dirty:
+            mem = self.controller.access(addr, issued + latency,
+                                         requestor=requestor, is_write=True)
+            latency += mem.latency
+            writebacks = 1
+            self.stats.memory_writebacks += 1
+        return HierarchyResult(latency=latency, issued=issued, hit_level=3,
+                               mem=mem, writebacks=writebacks)
+
+    def nt_access(self, core: int, addr: int, issued: int, *,
+                  is_write: bool = False, requestor: str = "cpu") -> HierarchyResult:
+        """Non-temporal access: bypasses the caches only probabilistically.
+
+        The ISA does not guarantee NT hints bypass the hierarchy (§3.2);
+        whether a given access bypasses is decided by a seeded RNG with
+        probability ``nt_bypass_probability``."""
+        self.stats.nt_accesses += 1
+        if self._nt_rng.random() < self.config.nt_bypass_probability:
+            self.stats.nt_bypasses += 1
+            self.stats.observe(requestor, issued, miss=True, nt=True)
+            mem = self.controller.access(addr, issued, requestor=requestor,
+                                         is_write=is_write)
+            return HierarchyResult(latency=mem.latency, issued=issued,
+                                   hit_level=0, mem=mem, bypassed=True)
+        return self.access(core, addr, issued, is_write=is_write,
+                           requestor=requestor)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def llc_set_stride(self) -> int:
+        """Byte stride between addresses that map to the same LLC set."""
+        return self.llc.config.num_sets * self.config.line_bytes
+
+    def build_eviction_set(self, addr: int, size: Optional[int] = None) -> List[int]:
+        """Construct an eviction set for ``addr``: ``size`` distinct lines
+        mapping to the same LLC set (§3.2; default one per LLC way).
+
+        Effectiveness is NOT guaranteed by construction — under SRRIP the
+        target line may survive ``ways`` conflicting fills (Table 1's
+        "ISA guarantees: X" for eviction sets)."""
+        if size is None:
+            size = self.config.llc_ways
+        stride = self.llc_set_stride()
+        base = self.llc.line_addr(addr)
+        capacity = self.controller.config.geometry.capacity_bytes
+        result: List[int] = []
+        k = 1
+        while len(result) < size:
+            candidate = (base + k * stride) % capacity
+            k += 1
+            if candidate != base and candidate not in result:
+                result.append(candidate)
+        return result
+
+    def rebase_time(self) -> None:
+        """Forget time-stamped transient state (in-flight prefetch fills)
+        so a measured replay can restart the clock at zero after a warm-up
+        pass; cache contents are kept."""
+        self._inflight_fills.clear()
+
+    def flush_all(self) -> None:
+        """Drop all cached state (testing aid; not an ISA operation)."""
+        config = self.config
+        controller = self.controller
+        self.__init__(config, controller)

@@ -1,0 +1,137 @@
+"""Cache replacement policies: LRU, SRRIP, and random.
+
+Table 2 uses LRU at L1 and SRRIP [118] at L2/L3.  Replacement matters to the
+attacks: eviction sets are only *probabilistically* effective because the
+policy is opaque to the attacker (§3.2, Table 1 "ISA guarantees: X" for
+eviction sets), and SRRIP in particular can retain a target line after
+``ways`` conflicting fills.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+
+class ReplacementPolicy:
+    """Per-cache replacement state; one instance manages every set.
+
+    ``ways`` slots per set; ways are addressed ``0 .. ways-1`` within a set.
+    """
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        if num_sets < 1 or ways < 1:
+            raise ValueError("num_sets and ways must be >= 1")
+        self.num_sets = num_sets
+        self.ways = ways
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        """Update state after a hit on ``way``."""
+        raise NotImplementedError
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        """Update state after filling a new line into ``way``."""
+        raise NotImplementedError
+
+    def victim(self, set_index: int, valid: List[bool]) -> int:
+        """Choose the way to evict (an invalid way is preferred)."""
+        raise NotImplementedError
+
+    def _first_invalid(self, valid: List[bool]) -> Optional[int]:
+        for way, v in enumerate(valid):
+            if not v:
+                return way
+        return None
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used: evict the oldest-touched way."""
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        super().__init__(num_sets, ways)
+        self._stamp = 0
+        self._last_use = [[0] * ways for _ in range(num_sets)]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self._stamp += 1
+        self._last_use[set_index][way] = self._stamp
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._touch(set_index, way)
+
+    def victim(self, set_index: int, valid: List[bool]) -> int:
+        invalid = self._first_invalid(valid)
+        if invalid is not None:
+            return invalid
+        uses = self._last_use[set_index]
+        return min(range(self.ways), key=lambda w: uses[w])
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """Static re-reference interval prediction [118] with 2-bit RRPVs.
+
+    Fills insert at RRPV ``max-1`` (long re-reference), hits promote to 0.
+    Victim selection scans for RRPV == max, aging every line when none is
+    found.  This is the policy that defeats naive W-access eviction sets.
+    """
+
+    MAX_RRPV = 3
+
+    def __init__(self, num_sets: int, ways: int) -> None:
+        super().__init__(num_sets, ways)
+        self._rrpv = [[self.MAX_RRPV] * ways for _ in range(num_sets)]
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        self._rrpv[set_index][way] = 0
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._rrpv[set_index][way] = self.MAX_RRPV - 1
+
+    def victim(self, set_index: int, valid: List[bool]) -> int:
+        invalid = self._first_invalid(valid)
+        if invalid is not None:
+            return invalid
+        rrpvs = self._rrpv[set_index]
+        while True:
+            for way in range(self.ways):
+                if rrpvs[way] >= self.MAX_RRPV:
+                    return way
+            for way in range(self.ways):
+                rrpvs[way] += 1
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim (deterministic under a seeded RNG)."""
+
+    def __init__(self, num_sets: int, ways: int, seed: int = 0) -> None:
+        super().__init__(num_sets, ways)
+        self._rng = random.Random(seed)
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        pass
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        pass
+
+    def victim(self, set_index: int, valid: List[bool]) -> int:
+        invalid = self._first_invalid(valid)
+        if invalid is not None:
+            return invalid
+        return self._rng.randrange(self.ways)
+
+
+_POLICIES = {"lru": LRUPolicy, "srrip": SRRIPPolicy, "random": RandomPolicy}
+
+
+def make_replacement_policy(name: str, num_sets: int, ways: int) -> ReplacementPolicy:
+    """Construct a policy by name: ``lru``, ``srrip``, or ``random``."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    return cls(num_sets, ways)

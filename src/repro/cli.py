@@ -1,0 +1,219 @@
+"""Command-line interface: drive every experiment without writing code.
+
+Usage::
+
+    python -m repro table2
+    python -m repro covert --attack impact-pnm --bits 512 --llc-mb 8
+    python -m repro covert --attack all
+    python -m repro sidechannel --banks 1024 --rounds 100
+    python -m repro defenses --workload PR
+    python -m repro recon --mapping xor
+    python -m repro detect
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro import System, SystemConfig
+from repro.analysis import format_table
+from repro.attacks import (
+    AddressReconnaissance,
+    DmaEngineChannel,
+    DramaClflushChannel,
+    DramaEvictionChannel,
+    ImpactPnmChannel,
+    ImpactPumChannel,
+    PnmOffchipChannel,
+    ReadMappingSideChannel,
+    StreamlineChannel,
+    fake_schedule,
+    streamline_upper_bound_mbps,
+)
+from repro.detection import run_detection_experiment
+
+ATTACKS: Dict[str, Callable[[System], object]] = {
+    "impact-pnm": ImpactPnmChannel,
+    "impact-pum": ImpactPumChannel,
+    "dma": DmaEngineChannel,
+    "drama-clflush": DramaClflushChannel,
+    "drama-eviction": DramaEvictionChannel,
+    "pnm-offchip": PnmOffchipChannel,
+    "streamline": StreamlineChannel,
+}
+
+
+def _config(args: argparse.Namespace) -> SystemConfig:
+    config = SystemConfig.paper_default()
+    if getattr(args, "llc_mb", None):
+        config = config.with_llc(float(args.llc_mb))
+    if getattr(args, "noise", 0.0):
+        config = config.with_noise(args.noise)
+    mapping = getattr(args, "mapping", None)
+    if mapping:
+        config = replace(config, mapping=mapping)
+    return config
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    config = _config(args)
+    rows = [(r["component"], r["configuration"]) for r in config.describe()]
+    print(format_table(["component", "configuration"], rows,
+                       title="Table 2: simulation configuration"))
+    return 0
+
+
+def cmd_covert(args: argparse.Namespace) -> int:
+    names = list(ATTACKS) if args.attack == "all" else [args.attack]
+    rows = []
+    for name in names:
+        config = _config(args)
+        if name == "drama-eviction" and config.mapping != "xor":
+            config = replace(config, mapping="xor")
+        channel = ATTACKS[name](System(config))
+        result = channel.transmit_random(args.bits, seed=args.seed)
+        rows.append((name, f"{result.throughput_mbps:.2f}",
+                     f"{result.error_rate:.2%}",
+                     f"{result.cycles_per_bit:.0f}"))
+    if args.attack == "all":
+        bound = streamline_upper_bound_mbps(System(_config(args)))
+        rows.append(("streamline (bound)", f"{bound:.2f}", "-", "-"))
+        rows.sort(key=lambda r: -float(r[1]))
+    print(format_table(["attack", "Mb/s", "error", "cycles/bit"], rows,
+                       title=f"covert channels, {args.bits} bits"))
+    return 0
+
+
+def cmd_sidechannel(args: argparse.Namespace) -> int:
+    config = (_config(args).with_banks(args.banks)
+              .with_noise(args.noise if args.noise else 0.0105))
+    system = System(config)
+    schedule = fake_schedule(args.banks, args.rounds, seed=args.seed)
+    result = ReadMappingSideChannel(system).run(schedule)
+    print(result.summary())
+    print(f"leaked {result.leaked_bits:.0f} bits in {result.cycles} cycles "
+          f"({result.correct}/{result.rounds} probes decoded; "
+          f"{result.false_positives} false positives)")
+    return 0
+
+
+def cmd_defenses(args: argparse.Namespace) -> int:
+    from repro.attacks import ImpactPnmChannel as Channel
+    from repro.defenses import evaluate_channel_under_defense
+    from repro.workloads import evaluate_defenses
+
+    rows = []
+    for defense in ("open", "mpr", "crp", "ctd"):
+        report = evaluate_channel_under_defense(lambda s: Channel(s), defense,
+                                                bits=args.bits)
+        rows.append((defense, str(report.blocked),
+                     f"{report.capacity_bits_per_symbol:.4f}",
+                     "eliminated" if report.channel_eliminated else "SURVIVES"))
+    print(format_table(["defense", "blocked", "capacity b/sym", "verdict"],
+                       rows, title="security vs IMPACT-PnM"))
+    if args.workload:
+        print(f"\nmeasuring {args.workload} under each row policy "
+              f"(takes a minute)...")
+        ev = evaluate_defenses(args.workload, max_refs=args.max_refs)
+        print(format_table(
+            ["policy", "cycles", "overhead"],
+            [(p, ev.results[p].cycles,
+              f"{ev.overhead(p):+.1%}" if p != "open" else "baseline")
+             for p in ("open", "crp", "ctd")],
+            title=f"{ev.workload}: measured MPKI {ev.measured_mpki:.2f} "
+                  f"(paper {ev.paper_mpki})"))
+    return 0
+
+
+def cmd_recon(args: argparse.Namespace) -> int:
+    config = _config(args)
+    system = System(config)
+    recon = AddressReconnaissance(system)
+    model = recon.recover_bank_function()
+    print(f"mapping under test: {config.mapping!r}")
+    print(f"recovered: {model.describe()}")
+    print(f"timing probes spent: {recon.timing_probes}")
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    rows = []
+    for name in ("drama-clflush", "impact-pnm", "impact-pum"):
+        mapping = "xor" if name == "drama-eviction" else "row"
+        reports = run_detection_experiment(
+            lambda s, c=ATTACKS[name]: c(s),
+            lambda m=mapping: replace(SystemConfig.paper_default(), mapping=m),
+            bits=args.bits)
+        for side, report in reports.items():
+            rows.append((name, side, report.accesses, report.clflushes,
+                         str(report.flagged), report.reason))
+    print(format_table(
+        ["attack", "side", "cache accesses", "clflushes", "flagged", "reason"],
+        rows, title="cache-monitor detector (Sec 3)"))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IMPACT reproduction: PiM main-memory timing attacks")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table2", help="print the simulated configuration")
+    p.add_argument("--llc-mb", type=float, default=None)
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("covert", help="run a covert channel")
+    p.add_argument("--attack", choices=sorted(ATTACKS) + ["all"],
+                   default="impact-pnm")
+    p.add_argument("--bits", type=int, default=512)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--llc-mb", type=float, default=None)
+    p.add_argument("--noise", type=float, default=0.0,
+                   help="background activations per kilocycle")
+    p.add_argument("--mapping", choices=["row", "line", "xor"], default=None)
+    p.set_defaults(func=cmd_covert)
+
+    p = sub.add_parser("sidechannel", help="run the read-mapping side channel")
+    p.add_argument("--banks", type=int, default=1024)
+    p.add_argument("--rounds", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--noise", type=float, default=0.0)
+    p.set_defaults(func=cmd_sidechannel)
+
+    p = sub.add_parser("defenses", help="evaluate the Sec 6 defenses")
+    p.add_argument("--bits", type=int, default=192)
+    p.add_argument("--workload", choices=["BC", "BFS", "CC", "TC", "PR"],
+                   default=None)
+    p.add_argument("--max-refs", type=int, default=30_000)
+    p.set_defaults(func=cmd_defenses)
+
+    p = sub.add_parser("recon", help="reverse-engineer the bank function")
+    p.add_argument("--mapping", choices=["row", "line", "xor"], default="xor")
+    p.set_defaults(func=cmd_recon)
+
+    p = sub.add_parser("detect", help="run the cache-monitor detector")
+    p.add_argument("--bits", type=int, default=128)
+    p.set_defaults(func=cmd_detect)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The three §6 defenses and their security/performance evaluation.
+
+- **MPR** (bank-level memory partitioning) — exclusive bank ownership;
+  implemented in the controller (:meth:`MemoryController.partition_banks`),
+  with the planning/utilization analysis here.
+- **CRP** (closed-row policy) — ``SystemConfig.with_defense("crp")``.
+- **CTD** (constant-time DRAM access) — ``SystemConfig.with_defense("ctd")``.
+
+:mod:`repro.defenses.security` verifies each defense actually eliminates
+the covert channel (error rate collapses to coin-flipping / the access is
+denied); :mod:`repro.workloads.runner` measures the §6 performance cost.
+"""
+
+from repro.defenses.partitioning import (
+    PartitionPlan,
+    plan_partitions,
+)
+from repro.defenses.security import (
+    DefenseSecurityReport,
+    channel_capacity_bits,
+    evaluate_channel_under_defense,
+)
+
+__all__ = [
+    "DefenseSecurityReport",
+    "PartitionPlan",
+    "channel_capacity_bits",
+    "evaluate_channel_under_defense",
+    "plan_partitions",
+]

@@ -1,0 +1,97 @@
+"""Bank-level memory partitioning (MPR, §6) — planning and cost analysis.
+
+MPR gives each process exclusive DRAM banks.  Its three §6 drawbacks are
+quantifiable and surfaced by :class:`PartitionPlan`:
+
+1. the bank count caps the number of concurrently running processes,
+2. bank-granular allocation strands capacity (internal fragmentation),
+3. shared data must be duplicated per partition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.dram.address import DRAMGeometry
+
+
+@dataclass(frozen=True)
+class ProcessDemand:
+    """A process's memory footprint for partition planning."""
+
+    name: str
+    footprint_bytes: int
+    shared_bytes: int = 0  # portion that would otherwise be shared
+
+    def __post_init__(self) -> None:
+        if self.footprint_bytes < 0 or self.shared_bytes < 0:
+            raise ValueError("byte counts must be >= 0")
+        if self.shared_bytes > self.footprint_bytes:
+            raise ValueError("shared_bytes cannot exceed the footprint")
+
+
+@dataclass
+class PartitionPlan:
+    """An MPR bank assignment plus its §6 cost metrics."""
+
+    geometry: DRAMGeometry
+    assignments: Dict[str, List[int]]
+    rejected: List[str]
+
+    @property
+    def banks_used(self) -> int:
+        return sum(len(banks) for banks in self.assignments.values())
+
+    @property
+    def max_concurrent_processes(self) -> int:
+        """Drawback 1: one bank minimum per process."""
+        return self.geometry.num_banks
+
+    def allocated_bytes(self, demands: Sequence[ProcessDemand]) -> int:
+        bank_bytes = self.geometry.rows_per_bank * self.geometry.row_bytes
+        return self.banks_used * bank_bytes
+
+    def utilization(self, demands: Sequence[ProcessDemand]) -> float:
+        """Drawback 2: requested bytes over bank-granular allocated bytes."""
+        allocated = self.allocated_bytes(demands)
+        if allocated == 0:
+            return 0.0
+        wanted = sum(d.footprint_bytes for d in demands
+                     if d.name in self.assignments)
+        return wanted / allocated
+
+    def duplicated_shared_bytes(self, demands: Sequence[ProcessDemand]) -> int:
+        """Drawback 3: shared data duplicated into every partition beyond
+        the first copy."""
+        sharers = [d for d in demands
+                   if d.name in self.assignments and d.shared_bytes > 0]
+        if len(sharers) <= 1:
+            return 0
+        return sum(d.shared_bytes for d in sharers[1:])
+
+
+def plan_partitions(geometry: DRAMGeometry,
+                    demands: Sequence[ProcessDemand]) -> PartitionPlan:
+    """First-fit bank assignment: each process receives exclusive banks
+    covering its footprint; processes that no longer fit are rejected
+    (drawback 1: the fixed bank count limits concurrency)."""
+    bank_bytes = geometry.rows_per_bank * geometry.row_bytes
+    next_bank = 0
+    assignments: Dict[str, List[int]] = {}
+    rejected: List[str] = []
+    seen = set()
+    for demand in demands:
+        if demand.name in seen:
+            raise ValueError(f"duplicate process name {demand.name!r}")
+        seen.add(demand.name)
+        banks_needed = max(1, math.ceil(demand.footprint_bytes / bank_bytes))
+        if next_bank + banks_needed > geometry.num_banks:
+            rejected.append(demand.name)
+            continue
+        assignments[demand.name] = list(range(next_bank,
+                                              next_bank + banks_needed))
+        next_bank += banks_needed
+    return PartitionPlan(geometry=geometry, assignments=assignments,
+                         rejected=rejected)

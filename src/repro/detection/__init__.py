@@ -1,0 +1,27 @@
+"""Cache-monitoring attack detection — and why it misses IMPACT (§3).
+
+The paper's core deployment argument: practical defenses detect timing
+attacks from cache-side performance counters (abnormal miss ratios,
+flush storms — NIGHTs-WATCH [64], PMU-based ML detectors [65, 66]) or
+restrict cache-management instructions [63].  PiM-based attacks never
+touch the cache hierarchy, so these mechanisms are *inapplicable*:
+"these attacks completely bypass the cache hierarchy."
+
+This package implements such a detector and demonstrates exactly that:
+it flags DRAMA-clflush and DRAMA-eviction, and sees literally zero events
+from IMPACT-PnM / IMPACT-PuM.
+"""
+
+from repro.detection.detector import (
+    CacheMonitorDetector,
+    DetectionReport,
+    DetectorConfig,
+    run_detection_experiment,
+)
+
+__all__ = [
+    "CacheMonitorDetector",
+    "DetectionReport",
+    "DetectorConfig",
+    "run_detection_experiment",
+]

@@ -1,0 +1,127 @@
+"""A performance-counter attack detector in the style of [63-66].
+
+The detector reads the hardware-visible, per-process cache-event counters
+(:class:`repro.cache.hierarchy.RequestorCacheStats`) and applies the
+heuristics the cited systems use:
+
+- **flush storm** — cache-line flushes at a rate no benign workload
+  sustains (the [63]-style clflush restriction's trigger),
+- **miss anomaly** — a miss *ratio* near 1.0 combined with a high miss
+  *rate* (misses per kilocycle), the NIGHTs-WATCH signature of eviction
+  and flush+reload behaviour.
+
+Its blind spot is the point: a PiM attacker generates no cache events at
+all, so every counter the detector can read stays at zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.cache.hierarchy import RequestorCacheStats
+from repro.system import System
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Detection thresholds (per observation window).
+
+    Defaults are deliberately aggressive — the paper's argument does not
+    depend on tuning: IMPACT's counters are exactly zero.
+    """
+
+    flush_per_kilocycle_threshold: float = 0.5
+    miss_ratio_threshold: float = 0.7
+    miss_per_kilocycle_threshold: float = 1.0
+    min_events: int = 16
+
+    def __post_init__(self) -> None:
+        if self.min_events < 1:
+            raise ValueError("min_events must be >= 1")
+
+
+@dataclass
+class DetectionReport:
+    """Per-requestor verdict."""
+
+    requestor: str
+    accesses: int
+    llc_misses: int
+    clflushes: int
+    miss_ratio: float
+    flush_per_kilocycle: float
+    miss_per_kilocycle: float
+    flagged: bool
+    reason: str
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "requestor": self.requestor,
+            "accesses": self.accesses,
+            "misses": self.llc_misses,
+            "clflushes": self.clflushes,
+            "miss_ratio": round(self.miss_ratio, 3),
+            "flagged": self.flagged,
+            "reason": self.reason,
+        }
+
+
+class CacheMonitorDetector:
+    """Flags attack-like cache behaviour from PMU-style counters."""
+
+    def __init__(self, config: Optional[DetectorConfig] = None) -> None:
+        self.config = config or DetectorConfig()
+
+    def inspect(self, requestor: str,
+                stats: RequestorCacheStats) -> DetectionReport:
+        cfg = self.config
+        window_kc = stats.window_cycles / 1000.0
+        flush_rate = stats.clflushes / window_kc
+        miss_rate = stats.llc_misses / window_kc
+        flagged = False
+        reason = "clean"
+        total_events = stats.accesses + stats.clflushes
+        if total_events < cfg.min_events:
+            reason = "no cache activity" if total_events == 0 else "too quiet"
+        elif flush_rate > cfg.flush_per_kilocycle_threshold:
+            flagged = True
+            reason = f"flush storm ({flush_rate:.2f} clflush/kc)"
+        elif (stats.miss_ratio > cfg.miss_ratio_threshold
+              and miss_rate > cfg.miss_per_kilocycle_threshold):
+            flagged = True
+            reason = (f"miss anomaly (ratio {stats.miss_ratio:.2f}, "
+                      f"{miss_rate:.2f} misses/kc)")
+        return DetectionReport(
+            requestor=requestor, accesses=stats.accesses,
+            llc_misses=stats.llc_misses, clflushes=stats.clflushes,
+            miss_ratio=stats.miss_ratio, flush_per_kilocycle=flush_rate,
+            miss_per_kilocycle=miss_rate, flagged=flagged, reason=reason)
+
+    def scan(self, system: System,
+             requestors: Optional[List[str]] = None) -> Dict[str, DetectionReport]:
+        """Inspect every (or the named) requestors seen by the hierarchy."""
+        by_requestor = system.hierarchy.stats.by_requestor
+        names = requestors if requestors is not None else sorted(by_requestor)
+        reports = {}
+        for name in names:
+            stats = by_requestor.get(name, RequestorCacheStats())
+            reports[name] = self.inspect(name, stats)
+        return reports
+
+
+def run_detection_experiment(channel_factory: Callable[[System], object],
+                             config_factory: Callable[[], object],
+                             bits: int = 128,
+                             detector: Optional[CacheMonitorDetector] = None,
+                             ) -> Dict[str, DetectionReport]:
+    """Mount an attack, then let the detector scan its sender/receiver.
+
+    Returns the reports for the ``sender`` and ``receiver`` requestors
+    (absent counters mean the attack was invisible to the monitor).
+    """
+    system = System(config_factory())
+    channel = channel_factory(system)
+    channel.transmit_random(bits, seed=11)
+    det = detector or CacheMonitorDetector()
+    return det.scan(system, requestors=["sender", "receiver"])

@@ -1,0 +1,67 @@
+"""DRAM substrate: geometry, timing, banks, address mapping, controller.
+
+Models the main-memory structures the IMPACT attacks exploit:
+
+- per-bank **row buffers** with hit / empty (closed) / conflict latencies
+  (§2.1, §3.1 — the conflict-vs-hit gap is the timing channel),
+- **bank busy-time contention** (the PuM channel observes it),
+- configurable **address mappings** (row-, line-interleaved, XOR bank hash),
+- a **memory controller** with open-row, timeout, and closed-row policies,
+  constant-time access mode, bank partitioning, and refresh.
+
+The defense mechanisms of §6 (CRP, CTD, MPR) are controller configurations.
+"""
+
+from repro.dram.address import (
+    AddressMapping,
+    DRAMGeometry,
+    DRAMLocation,
+    LineInterleavedMapping,
+    RowInterleavedMapping,
+    XorBankMapping,
+    make_mapping,
+)
+from repro.dram.bank import AccessKind, Bank, BankAccess
+from repro.dram.controller import (
+    MemoryController,
+    MemoryControllerConfig,
+    MemoryResult,
+    PartitionViolationError,
+    RowPolicy,
+)
+from repro.dram.device import DRAMDevice
+from repro.dram.scheduling import (
+    Request,
+    RequestScheduler,
+    ScheduleStats,
+    ScheduledRequest,
+    SchedulingPolicy,
+    requests_from_refs,
+)
+from repro.dram.timings import DRAMTimings
+
+__all__ = [
+    "AccessKind",
+    "AddressMapping",
+    "Bank",
+    "BankAccess",
+    "DRAMDevice",
+    "DRAMGeometry",
+    "DRAMLocation",
+    "DRAMTimings",
+    "LineInterleavedMapping",
+    "MemoryController",
+    "MemoryControllerConfig",
+    "MemoryResult",
+    "PartitionViolationError",
+    "Request",
+    "RequestScheduler",
+    "RowInterleavedMapping",
+    "RowPolicy",
+    "ScheduleStats",
+    "ScheduledRequest",
+    "SchedulingPolicy",
+    "XorBankMapping",
+    "make_mapping",
+    "requests_from_refs",
+]

@@ -1,0 +1,235 @@
+"""A DRAM bank with its row buffer — the shared structure IMPACT exploits.
+
+The row buffer is a one-entry direct-mapped cache inside the bank (§3.1).
+Every access is classified as:
+
+- ``HIT`` — target row already open: pay ``tCAS`` only,
+- ``EMPTY`` — bank precharged: pay ``tRCD + tCAS``,
+- ``CONFLICT`` — another row open: pay ``tRP + tRCD + tCAS``.
+
+Banks also track ``busy_until`` so concurrent requestors (sender/receiver,
+attacker/victim, PiM engines) serialize realistically; queuing delay is how
+the PuM channel's receiver observes contention (§4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dram.timings import DRAMTimings
+
+
+class AccessKind(enum.Enum):
+    """Row-buffer outcome of a DRAM access."""
+
+    HIT = "hit"
+    EMPTY = "empty"
+    CONFLICT = "conflict"
+
+
+@dataclass(frozen=True)
+class BankAccess:
+    """Result of one bank access.
+
+    ``latency`` is measured from the requestor's issue time (``issued``),
+    so it includes any queuing delay behind a busy bank; ``service_start``
+    is when the bank actually began the operation.
+    """
+
+    kind: AccessKind
+    issued: int
+    service_start: int
+    finish: int
+    bank: int
+    row: int
+
+    @property
+    def latency(self) -> int:
+        return self.finish - self.issued
+
+    @property
+    def queue_delay(self) -> int:
+        return self.service_start - self.issued
+
+
+@dataclass
+class BankStats:
+    """Per-bank access counters."""
+
+    hits: int = 0
+    empties: int = 0
+    conflicts: int = 0
+    activations: int = 0
+    rowclones: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.empties + self.conflicts
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def record(self, kind: AccessKind) -> None:
+        if kind is AccessKind.HIT:
+            self.hits += 1
+        elif kind is AccessKind.EMPTY:
+            self.empties += 1
+        else:
+            self.conflicts += 1
+
+
+@dataclass
+class Bank:
+    """One DRAM bank: row-buffer state machine plus busy-time bookkeeping."""
+
+    index: int
+    timings: DRAMTimings
+    open_row: Optional[int] = None
+    busy_until: int = 0
+    last_activation: int = 0
+    stats: BankStats = field(default_factory=BankStats)
+
+    def _effective_open_row(self, time: int) -> Optional[int]:
+        """Open row as seen at ``time``, honoring the open-row timeout."""
+        timeout = self.timings.row_timeout_cycles
+        if self.open_row is not None and timeout > 0:
+            if time - self.last_activation > timeout:
+                return None
+        return self.open_row
+
+    def classify(self, row: int, time: int) -> AccessKind:
+        """What outcome would an access to ``row`` at ``time`` see?"""
+        current = self._effective_open_row(time)
+        if current is None:
+            return AccessKind.EMPTY
+        if current == row:
+            return AccessKind.HIT
+        return AccessKind.CONFLICT
+
+    def access(self, row: int, issued: int, *, close_after: bool = False) -> BankAccess:
+        """Perform a read/write access to ``row`` starting no earlier than
+        ``issued``.
+
+        Args:
+            row: target DRAM row.
+            issued: requestor's issue time (CPU cycles).
+            close_after: auto-precharge after the access (closed-row policy,
+                the CRP defense of §6); the precharge is hidden — the next
+                access sees an ``EMPTY`` bank and never pays ``tRP``.
+        """
+        t = self.timings
+        service_start = max(issued, self.busy_until)
+        kind = self.classify(row, service_start)
+        if kind is AccessKind.HIT:
+            latency = t.hit_cycles
+        elif kind is AccessKind.EMPTY:
+            latency = t.empty_cycles
+            self.stats.activations += 1
+        else:
+            latency = t.conflict_cycles
+            self.stats.activations += 1
+        finish = service_start + latency
+        if kind is not AccessKind.HIT:
+            self.last_activation = finish
+        else:
+            # A hit keeps the row "warm": the timeout clock restarts.
+            self.last_activation = finish
+        if close_after:
+            self.open_row = None
+            self.busy_until = finish + t.rp_cycles
+        else:
+            self.open_row = row
+            self.busy_until = finish
+        self.stats.record(kind)
+        return BankAccess(kind=kind, issued=issued, service_start=service_start,
+                          finish=finish, bank=self.index, row=row)
+
+    def activate(self, row: int, issued: int) -> BankAccess:
+        """Activate ``row`` without a column access (PiM-style ACT).
+
+        Used by PEI operations that only need the row in the buffer and by
+        the covert-channel sender, whose goal is purely to perturb the row
+        buffer (§4.1 step 2).
+        """
+        t = self.timings
+        service_start = max(issued, self.busy_until)
+        kind = self.classify(row, service_start)
+        if kind is AccessKind.HIT:
+            latency = 0
+        elif kind is AccessKind.EMPTY:
+            latency = t.rcd_cycles
+            self.stats.activations += 1
+        else:
+            latency = t.rp_cycles + t.rcd_cycles
+            self.stats.activations += 1
+        finish = service_start + latency
+        self.open_row = row
+        self.busy_until = finish
+        self.last_activation = finish
+        self.stats.record(kind)
+        return BankAccess(kind=kind, issued=issued, service_start=service_start,
+                          finish=finish, bank=self.index, row=row)
+
+    def rowclone_fpm(self, src_row: int, dst_row: int, issued: int, *,
+                     rows_per_subarray: Optional[int] = None,
+                     lines_per_row: int = 128) -> BankAccess:
+        """In-bank RowClone copy [52]: Fast Parallel Mode when source and
+        destination share a subarray, Pipelined Serial Mode otherwise.
+
+        FPM issues ACT(src) then ACT(dst) back-to-back; if a different row
+        is open the bank must first precharge, which is the latency
+        difference the PuM receiver decodes (§4.2).  PSM streams the row
+        over the internal bus line by line — roughly 10x slower.  Leaves
+        ``dst`` open either way.
+        """
+        t = self.timings
+        service_start = max(issued, self.busy_until)
+        kind = self.classify(src_row, service_start)
+        fpm_possible = (rows_per_subarray is None
+                        or (src_row // rows_per_subarray
+                            == dst_row // rows_per_subarray))
+        if fpm_possible:
+            latency = t.rowclone_fpm_cycles
+        else:
+            latency = t.rowclone_psm_cycles(lines_per_row)
+        if kind is AccessKind.CONFLICT:
+            latency += t.rp_cycles
+        finish = service_start + latency
+        self.open_row = dst_row
+        self.busy_until = finish
+        self.last_activation = finish
+        self.stats.record(kind)
+        self.stats.rowclones += 1
+        self.stats.activations += 2
+        return BankAccess(kind=kind, issued=issued, service_start=service_start,
+                          finish=finish, bank=self.index, row=dst_row)
+
+    def precharge(self, issued: int) -> int:
+        """Explicitly close the open row; returns the finish time."""
+        service_start = max(issued, self.busy_until)
+        if self.open_row is None:
+            return service_start
+        finish = service_start + self.timings.rp_cycles
+        self.open_row = None
+        self.busy_until = finish
+        return finish
+
+    def apply_refresh(self, until: int) -> None:
+        """Model a refresh: the bank is busy and its row buffer is closed."""
+        self.busy_until = max(self.busy_until, until)
+        self.open_row = None
+
+    def snapshot(self) -> Dict[str, object]:
+        """Debug/telemetry snapshot of bank state."""
+        return {
+            "index": self.index,
+            "open_row": self.open_row,
+            "busy_until": self.busy_until,
+            "hits": self.stats.hits,
+            "empties": self.stats.empties,
+            "conflicts": self.stats.conflicts,
+        }

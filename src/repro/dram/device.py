@@ -1,0 +1,75 @@
+"""A DRAM device: the collection of banks behind one memory channel."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.dram.address import DRAMGeometry
+from repro.dram.bank import Bank
+from repro.dram.timings import DRAMTimings
+
+
+class DRAMDevice:
+    """Owns the banks and the (optional) staggered refresh schedule.
+
+    Refresh is a background noise source: while a bank refreshes, its row
+    buffer closes and accesses queue behind it.  The paper's simulations
+    include such noise sources (§5.1); refresh is disabled by default and
+    enabled by noise-sensitive experiments.
+    """
+
+    def __init__(self, geometry: DRAMGeometry, timings: DRAMTimings,
+                 refresh_enabled: bool = False) -> None:
+        self.geometry = geometry
+        self.timings = timings
+        self.refresh_enabled = refresh_enabled
+        self.banks: List[Bank] = [
+            Bank(index=i, timings=timings) for i in range(geometry.num_banks)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.banks)
+
+    def __iter__(self) -> Iterator[Bank]:
+        return iter(self.banks)
+
+    def bank(self, index: int) -> Bank:
+        """Bank by flat index (0 .. num_banks-1)."""
+        return self.banks[index]
+
+    def refresh_window(self, bank_index: int, time: int) -> int:
+        """If ``time`` falls inside the bank's refresh window, return the
+        window's end; otherwise return ``time`` unchanged.
+
+        DDR4-style all-bank refresh: every ``tREFI`` each *rank* refreshes
+        for ``tRFC`` (all of its banks at once); ranks are staggered so
+        the channel is never fully blocked.
+        """
+        if not self.refresh_enabled:
+            return time
+        t = self.timings
+        period = t.refi_cycles
+        rank = bank_index // self.geometry.banks_per_rank
+        stagger = (rank * period) // max(1, self.geometry.ranks)
+        phase = (time - stagger) % period
+        if phase < t.rfc_cycles:
+            window_end = time + (t.rfc_cycles - phase)
+            self.banks[bank_index].apply_refresh(window_end)
+            return window_end
+        return time
+
+    def reset_stats(self) -> None:
+        """Zero all per-bank counters (keeps row-buffer state)."""
+        for bank in self.banks:
+            bank.stats.__init__()
+
+    def rebase_time(self) -> None:
+        """Reset all banks' busy/activation clocks to zero while keeping
+        row-buffer contents — lets a measured replay start at t=0 after a
+        warm-up pass ran to a large virtual time."""
+        for bank in self.banks:
+            bank.busy_until = 0
+            bank.last_activation = 0
+
+    def total_activations(self) -> int:
+        return sum(b.stats.activations for b in self.banks)

@@ -1,0 +1,55 @@
+"""Read-mapping substrate for the §4.3 side-channel attack.
+
+A compact but real minimap2-style [103] pipeline:
+
+- :mod:`repro.genomics.sequences` — synthetic reference genomes, mutated
+  sample genomes, and error-bearing reads (the paper uses the human
+  reference with synthetic samples; the channel leaks *positions*, so a
+  seeded synthetic reference exercises the identical code path),
+- :mod:`repro.genomics.minimizers` — k-mer encoding, invertible 64-bit
+  hashing, and (w, k) window minimizers,
+- :mod:`repro.genomics.index` — the reference hash table, laid out across
+  DRAM banks (the structure the attacker probes),
+- :mod:`repro.genomics.chaining` — anchor chaining (seeding's second half),
+- :mod:`repro.genomics.alignment` — banded Smith-Waterman alignment,
+- :mod:`repro.genomics.mapper` — the end-to-end read mapper,
+- :mod:`repro.genomics.pim_mapper` — the PiM-offloaded mapper whose
+  hash-table probes become DRAM bank activations on the simulated system.
+"""
+
+from repro.genomics.alignment import AlignmentResult, banded_align
+from repro.genomics.chaining import Anchor, Chain, chain_anchors
+from repro.genomics.index import ReferenceIndex
+from repro.genomics.mapper import MappingResult, ReadMapper
+from repro.genomics.minimizers import (
+    Minimizer,
+    extract_minimizers,
+    hash_kmer,
+    reverse_complement,
+)
+from repro.genomics.pim_mapper import PimReadMapper, SeedAccess
+from repro.genomics.sequences import (
+    generate_reference,
+    mutate_genome,
+    sample_reads,
+)
+
+__all__ = [
+    "AlignmentResult",
+    "Anchor",
+    "Chain",
+    "MappingResult",
+    "Minimizer",
+    "PimReadMapper",
+    "ReadMapper",
+    "ReferenceIndex",
+    "SeedAccess",
+    "banded_align",
+    "chain_anchors",
+    "extract_minimizers",
+    "generate_reference",
+    "hash_kmer",
+    "mutate_genome",
+    "reverse_complement",
+    "sample_reads",
+]

@@ -1,0 +1,88 @@
+"""k-mer hashing and window minimizers (minimap2-style seeding [103]).
+
+A minimizer is the smallest-hashed k-mer in each window of w consecutive
+k-mers; storing only minimizers keeps the index small while guaranteeing
+that two sequences sharing a long enough exact match share a minimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+_BASE_CODES: Dict[str, int] = {"A": 0, "C": 1, "G": 2, "T": 3}
+_COMPLEMENT: Dict[str, str] = {"A": "T", "C": "G", "G": "C", "T": "A"}
+_MASK64 = (1 << 64) - 1
+
+
+def reverse_complement(sequence: str) -> str:
+    """The opposite-strand reading of ``sequence`` (3'->5' complement)."""
+    try:
+        return "".join(_COMPLEMENT[base] for base in reversed(sequence))
+    except KeyError as exc:
+        raise ValueError(f"invalid base {exc.args[0]!r}") from None
+
+
+def encode_kmer(kmer: str) -> int:
+    """Pack a k-mer into 2 bits per base (A=0, C=1, G=2, T=3)."""
+    value = 0
+    for base in kmer:
+        try:
+            code = _BASE_CODES[base]
+        except KeyError:
+            raise ValueError(f"invalid base {base!r}") from None
+        value = (value << 2) | code
+    return value
+
+
+def hash_kmer(kmer: str) -> int:
+    """Invertible 64-bit mix of the packed k-mer (minimap2's hash64)."""
+    return _hash64(encode_kmer(kmer))
+
+
+def _hash64(key: int) -> int:
+    """Thomas Wang's 64-bit integer hash, as used by minimap2."""
+    key = (~key + (key << 21)) & _MASK64
+    key = key ^ (key >> 24)
+    key = (key + (key << 3) + (key << 8)) & _MASK64
+    key = key ^ (key >> 14)
+    key = (key + (key << 2) + (key << 4)) & _MASK64
+    key = key ^ (key >> 28)
+    key = (key + (key << 31)) & _MASK64
+    return key
+
+
+@dataclass(frozen=True)
+class Minimizer:
+    """One selected seed: the k-mer's hash and its start position."""
+
+    hash_value: int
+    position: int
+
+
+def extract_minimizers(sequence: str, k: int = 15,
+                       w: int = 10) -> List[Minimizer]:
+    """(w, k) window minimizers of ``sequence``.
+
+    Scans every window of ``w`` consecutive k-mers and keeps the k-mer
+    with the smallest hash (leftmost on ties); consecutive windows sharing
+    their minimizer emit it once.
+    """
+    if k < 1 or w < 1:
+        raise ValueError("k and w must be >= 1")
+    n = len(sequence) - k + 1
+    if n < 1:
+        return []
+    hashes = [_hash64(encode_kmer(sequence[i:i + k])) for i in range(n)]
+    minimizers: List[Minimizer] = []
+    last_pos = -1
+    for window_start in range(max(1, n - w + 1)):
+        end = min(window_start + w, n)
+        best = window_start
+        for i in range(window_start, end):
+            if hashes[i] < hashes[best]:
+                best = i
+        if best != last_pos:
+            minimizers.append(Minimizer(hash_value=hashes[best], position=best))
+            last_pos = best
+    return minimizers

@@ -1,0 +1,85 @@
+"""PiM-offloaded read mapping: the §4.3 victim.
+
+The victim's seeding step is offloaded to the PiM-enabled system: each
+hash-table probe becomes a PEI to the DRAM bank holding the probed bucket,
+activating that bucket's row (Fig. 6, step 2).  The attacker never sees
+the probe's *content* — only the bank-level activation, which this module
+exposes as the ground-truth access trace the side channel is scored
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.genomics.index import BucketLocation, ReferenceIndex
+from repro.genomics.mapper import MappingResult, ReadMapper
+from repro.genomics.minimizers import extract_minimizers
+from repro.sim.scheduler import Context
+from repro.system import System
+
+
+@dataclass(frozen=True)
+class SeedAccess:
+    """One victim hash-table probe: which bucket, hence which bank/row."""
+
+    hash_value: int
+    location: BucketLocation
+
+    @property
+    def bank(self) -> int:
+        return self.location.bank
+
+    @property
+    def row(self) -> int:
+        return self.location.row
+
+
+class PimReadMapper:
+    """A read mapper whose seeding probes run as PEIs on a System.
+
+    Separates two concerns:
+
+    - :meth:`seed_accesses` — the *logical* access schedule of a read
+      (which buckets, in probe order); pure computation, reusable across
+      bank-count sweeps via :meth:`ReferenceIndex.restripe`.
+    - :meth:`probe` — executing one access on the simulated system from a
+      victim thread (advances the thread's clock, activates the bank).
+    """
+
+    def __init__(self, system: System, reference: str,
+                 index: ReferenceIndex, mapper: Optional[ReadMapper] = None) -> None:
+        self.system = system
+        self.index = index
+        self.mapper = mapper or ReadMapper(reference, index)
+
+    def seed_accesses(self, read: str) -> List[SeedAccess]:
+        """The bank/row schedule the victim's seeding step will touch."""
+        accesses: List[SeedAccess] = []
+        for minimizer in extract_minimizers(read, k=self.index.k,
+                                            w=self.index.w):
+            location = self.index.location_of_hash(minimizer.hash_value)
+            if location is None:
+                continue
+            accesses.append(SeedAccess(hash_value=minimizer.hash_value,
+                                       location=location))
+        return accesses
+
+    def trace_for_reads(self, reads: List[str]) -> List[SeedAccess]:
+        """Concatenated access schedule for a batch of reads."""
+        trace: List[SeedAccess] = []
+        for read in reads:
+            trace.extend(self.seed_accesses(read))
+        return trace
+
+    def probe(self, ctx: Context, access: SeedAccess) -> None:
+        """Execute one hash-table probe as a PEI (the victim's step 2)."""
+        addr = self.system.address_of(access.bank, access.row,
+                                      access.location.col)
+        self.system.pei_op(ctx, addr, requestor="victim")
+
+    def map_read(self, read: str) -> Optional[MappingResult]:
+        """The full pipeline result (the victim's output is unchanged by
+        offloading — PiM accelerates, the attack leaks)."""
+        return self.mapper.map_read(read)

@@ -1,0 +1,83 @@
+"""Synthetic genome and read generation.
+
+The paper maps reads from synthetic sample genomes against the human
+reference (§5.1).  We generate seeded random references and derive sample
+genomes by applying SNPs and small indels, then sample error-bearing reads
+from the sample — the standard evaluation setup for read mappers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+ALPHABET = "ACGT"
+
+
+def generate_reference(length: int, seed: int = 0) -> str:
+    """A uniform-random reference genome of ``length`` bases."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    rng = random.Random(seed)
+    return "".join(rng.choice(ALPHABET) for _ in range(length))
+
+
+def mutate_genome(reference: str, snp_rate: float = 0.001,
+                  indel_rate: float = 0.0002, seed: int = 1) -> str:
+    """Derive a sample genome: substitutions plus 1-3 bp indels.
+
+    Rates are per-base probabilities; defaults approximate human
+    inter-individual variation (~0.1% SNPs).
+    """
+    if not 0 <= snp_rate <= 1 or not 0 <= indel_rate <= 1:
+        raise ValueError("rates must be within [0, 1]")
+    rng = random.Random(seed)
+    out: List[str] = []
+    i = 0
+    while i < len(reference):
+        base = reference[i]
+        roll = rng.random()
+        if roll < indel_rate / 2:
+            # Deletion of 1-3 bases.
+            i += rng.randint(1, 3)
+            continue
+        if roll < indel_rate:
+            # Insertion of 1-3 random bases.
+            out.append("".join(rng.choice(ALPHABET)
+                               for _ in range(rng.randint(1, 3))))
+        if rng.random() < snp_rate:
+            choices = [b for b in ALPHABET if b != base]
+            base = rng.choice(choices)
+        out.append(base)
+        i += 1
+    return "".join(out)
+
+
+def sample_reads(genome: str, num_reads: int, read_length: int = 150,
+                 error_rate: float = 0.002, seed: int = 2,
+                 both_strands: bool = False) -> List[Tuple[str, int]]:
+    """Extract ``num_reads`` reads of ``read_length`` with base errors.
+
+    Returns (read, true_position) pairs; positions refer to the *sampled*
+    genome, enabling mapping-accuracy checks.  With ``both_strands``,
+    half the reads (in expectation) come from the reverse strand, as real
+    sequencing produces.
+    """
+    if read_length > len(genome):
+        raise ValueError("read longer than genome")
+    if num_reads < 0:
+        raise ValueError("num_reads must be >= 0")
+    rng = random.Random(seed)
+    complement = {"A": "T", "C": "G", "G": "C", "T": "A"}
+    reads: List[Tuple[str, int]] = []
+    for _ in range(num_reads):
+        pos = rng.randrange(len(genome) - read_length + 1)
+        bases = list(genome[pos:pos + read_length])
+        for j in range(len(bases)):
+            if rng.random() < error_rate:
+                bases[j] = rng.choice([b for b in ALPHABET if b != bases[j]])
+        read = "".join(bases)
+        if both_strands and rng.random() < 0.5:
+            read = "".join(complement[b] for b in reversed(read))
+        reads.append((read, pos))
+    return reads

@@ -1,0 +1,21 @@
+"""MMU substrate: TLBs and the page-table walker.
+
+Address translation matters to the attacks in two ways (§3.2, §5.1):
+eviction-set construction suffers translation overheads, and page-table
+walks are a noise source — a PTW issues real memory accesses that perturb
+caches and DRAM row buffers.  The attacks' warm-up phase (§5.1) exists to
+pre-fill these TLBs.
+"""
+
+from repro.mmu.mmu import MMU, MMUConfig, TranslationResult
+from repro.mmu.page_table import PageTableWalker
+from repro.mmu.tlb import TLB, TLBConfig
+
+__all__ = [
+    "MMU",
+    "MMUConfig",
+    "PageTableWalker",
+    "TLB",
+    "TLBConfig",
+    "TranslationResult",
+]

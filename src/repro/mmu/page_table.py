@@ -1,0 +1,61 @@
+"""Radix page-table walker.
+
+A TLB miss triggers a 4-level walk; each level is a real memory access
+through the cache hierarchy, so walks both cost latency and perturb shared
+state (a simulated noise source, §5.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.hierarchy import CacheHierarchy
+
+_LEVELS = 4
+_ENTRY_BYTES = 8
+_ENTRIES_PER_TABLE = 512  # 9 bits per level, x86-64 radix
+
+
+class PageTableWalker:
+    """Walks a synthetic 4-level radix table laid out in physical memory.
+
+    The table occupies a dedicated physical region starting at
+    ``table_base``; entry addresses are derived from the virtual page
+    number's 9-bit slices, so distinct pages walk distinct (cacheable)
+    entry chains, as on real hardware.
+    """
+
+    def __init__(self, hierarchy: "CacheHierarchy", table_base: int,
+                 table_bytes: int = 1 << 20) -> None:
+        if table_base < 0 or table_bytes < _LEVELS * _ENTRY_BYTES:
+            raise ValueError("page-table region too small")
+        self.hierarchy = hierarchy
+        self.table_base = table_base
+        self.table_bytes = table_bytes
+        self.walks = 0
+
+    def entry_addresses(self, vaddr: int) -> List[int]:
+        """Physical addresses of the 4 page-table entries for ``vaddr``."""
+        vpn = vaddr >> 12
+        addrs = []
+        for level in range(_LEVELS):
+            index = (vpn >> (9 * (_LEVELS - 1 - level))) & (_ENTRIES_PER_TABLE - 1)
+            # Each level owns a slice of the table region.
+            slice_base = self.table_base + level * (self.table_bytes // _LEVELS)
+            slice_size = self.table_bytes // _LEVELS
+            offset = (index * _ENTRY_BYTES + (vpn * 257) % slice_size) % slice_size
+            offset -= offset % _ENTRY_BYTES
+            addrs.append(slice_base + offset)
+        return addrs
+
+    def walk(self, core: int, vaddr: int, issued: int, *,
+             requestor: str = "ptw") -> int:
+        """Perform the walk; returns its total latency in cycles."""
+        self.walks += 1
+        latency = 0
+        for entry_addr in self.entry_addresses(vaddr):
+            result = self.hierarchy.access(core, entry_addr, issued + latency,
+                                           requestor=requestor)
+            latency += result.latency
+        return latency

@@ -1,0 +1,36 @@
+"""Processing-in-memory substrates.
+
+Three pieces, matching §4's baselines:
+
+- :mod:`repro.pim.pei` — the PnM substrate: PIM-Enabled Instructions [67]
+  with per-bank PEI Computation Units (PCUs) and the PEI Management Unit's
+  locality monitor (including the ignore flag IMPACT-PnM abuses to bypass
+  it, §4.1).
+- :mod:`repro.pim.rowclone` — the PuM substrate: masked multi-bank
+  RowClone [52] with the atomicity guarantee of §5.1.
+- :mod:`repro.pim.offchip` — a Hermes-style perceptron off-chip predictor
+  [116], the component behind the PnM-OffChip comparison point of §5.1.
+"""
+
+from repro.pim.offchip import OffChipPredictor, OffChipPredictorConfig
+from repro.pim.pei import (
+    ExecutionSite,
+    LocalityMonitor,
+    PEIConfig,
+    PEIEngine,
+    PEIResult,
+)
+from repro.pim.rowclone import RowCloneConfig, RowCloneEngine, RowCloneResult
+
+__all__ = [
+    "ExecutionSite",
+    "LocalityMonitor",
+    "OffChipPredictor",
+    "OffChipPredictorConfig",
+    "PEIConfig",
+    "PEIEngine",
+    "PEIResult",
+    "RowCloneConfig",
+    "RowCloneEngine",
+    "RowCloneResult",
+]

@@ -1,0 +1,292 @@
+"""Virtual-time cooperative scheduler.
+
+Threads are generator functions that receive a :class:`Context` and yield
+*commands*.  The scheduler always resumes the runnable thread with the
+smallest local clock, so shared simulated hardware (banks, caches) observes
+accesses in global time order.
+
+Yieldable commands
+------------------
+
+- ``None`` — checkpoint: reschedule me; lets lower-time threads run first.
+  Threads must checkpoint around shared-hardware accesses.
+- ``semaphore.acquire()`` — block until a token is available; the thread
+  resumes at ``max(own time, token release time)``.
+- ``semaphore.release()`` — deposit a token stamped with the current time.
+- ``barrier.wait()`` — rendezvous; all parties resume at the max arrival time.
+
+Example
+-------
+
+>>> sched = Scheduler()
+>>> log = []
+>>> def worker(ctx):
+...     ctx.advance(5)
+...     yield None
+...     log.append((ctx.name, ctx.now))
+>>> _ = sched.spawn(worker, name="w0")
+>>> _ = sched.spawn(worker, name="w1")
+>>> sched.run()
+>>> sorted(log)
+[('w0', 5), ('w1', 5)]
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, Iterator, List, Optional, Tuple
+
+
+class DeadlockError(RuntimeError):
+    """Raised when no thread is runnable but blocked threads remain."""
+
+
+class Context:
+    """Per-thread simulation context.
+
+    Tracks the thread's local virtual clock (``now``, in CPU cycles) and any
+    outstanding asynchronous completions (e.g. in-flight PEI operations that
+    a later memory fence must wait for).
+    """
+
+    __slots__ = ("name", "now", "_pending", "scheduler", "thread_id")
+
+    def __init__(self, name: str, thread_id: int, scheduler: "Scheduler") -> None:
+        self.name = name
+        self.thread_id = thread_id
+        self.scheduler = scheduler
+        self.now: int = 0
+        self._pending: List[int] = []
+
+    def advance(self, cycles: int) -> None:
+        """Move this thread's clock forward by ``cycles`` (must be >= 0)."""
+        if cycles < 0:
+            raise ValueError(f"cannot advance by negative cycles: {cycles}")
+        self.now += cycles
+
+    def advance_to(self, time: int) -> None:
+        """Move this thread's clock forward to ``time`` if it is later."""
+        if time > self.now:
+            self.now = time
+
+    def track_completion(self, finish_time: int) -> None:
+        """Record an asynchronous operation completing at ``finish_time``."""
+        self._pending.append(finish_time)
+
+    def fence(self) -> None:
+        """Memory fence: wait for all tracked asynchronous completions."""
+        if self._pending:
+            self.advance_to(max(self._pending))
+            self._pending.clear()
+
+    @property
+    def pending_completions(self) -> Tuple[int, ...]:
+        """Completion times of operations not yet retired by a fence."""
+        return tuple(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Context(name={self.name!r}, now={self.now})"
+
+
+class _Acquire:
+    __slots__ = ("semaphore",)
+
+    def __init__(self, semaphore: "Semaphore") -> None:
+        self.semaphore = semaphore
+
+
+class _Release:
+    __slots__ = ("semaphore",)
+
+    def __init__(self, semaphore: "Semaphore") -> None:
+        self.semaphore = semaphore
+
+
+class _BarrierWait:
+    __slots__ = ("barrier",)
+
+    def __init__(self, barrier: "Barrier") -> None:
+        self.barrier = barrier
+
+
+class Semaphore:
+    """Counting semaphore whose tokens carry virtual timestamps.
+
+    A token released at time ``t`` cannot be consumed "in the past": the
+    acquiring thread resumes at ``max(acquire time, t)``.  This models the
+    signal-propagation behaviour of the POSIX semaphores the paper's attacks
+    use for sender/receiver pipelining (§4.1).
+    """
+
+    def __init__(self, initial: int = 0, name: str = "sem") -> None:
+        if initial < 0:
+            raise ValueError("initial semaphore value must be >= 0")
+        self.name = name
+        self._tokens: Deque[int] = deque([0] * initial)
+        self._waiters: Deque["SimThread"] = deque()
+
+    @property
+    def value(self) -> int:
+        """Number of currently available tokens."""
+        return len(self._tokens)
+
+    def acquire(self) -> _Acquire:
+        """Return a command that blocks until a token is available."""
+        return _Acquire(self)
+
+    def release(self) -> _Release:
+        """Return a command that deposits one token."""
+        return _Release(self)
+
+
+class Barrier:
+    """Rendezvous barrier: all parties resume at the latest arrival time."""
+
+    def __init__(self, parties: int, name: str = "barrier") -> None:
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.name = name
+        self.parties = parties
+        self._arrived: List["SimThread"] = []
+        self._generation = 0
+
+    def wait(self) -> _BarrierWait:
+        """Return a command that blocks until all parties have arrived."""
+        return _BarrierWait(self)
+
+
+class SimThread:
+    """A spawned simulated thread (generator + context + liveness state)."""
+
+    __slots__ = ("ctx", "generator", "finished", "result", "_seq")
+
+    def __init__(self, ctx: Context, generator: Generator[Any, None, None], seq: int) -> None:
+        self.ctx = ctx
+        self.generator = generator
+        self.finished = False
+        self.result: Any = None
+        self._seq = seq
+
+    @property
+    def name(self) -> str:
+        return self.ctx.name
+
+    @property
+    def now(self) -> int:
+        return self.ctx.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "finished" if self.finished else f"t={self.ctx.now}"
+        return f"SimThread({self.ctx.name}, {state})"
+
+
+ThreadBody = Callable[..., Generator[Any, None, Any]]
+
+
+class Scheduler:
+    """Runs simulated threads in virtual-time order until all complete."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, SimThread]] = []
+        self._threads: List[SimThread] = []
+        self._blocked: Dict[int, SimThread] = {}
+        self._seq = 0
+        self.max_time: int = 0
+
+    def spawn(self, body: ThreadBody, *args: Any, name: Optional[str] = None,
+              start_time: int = 0, **kwargs: Any) -> SimThread:
+        """Create a thread from generator function ``body(ctx, *args)``."""
+        self._seq += 1
+        thread_name = name if name is not None else f"thread-{self._seq}"
+        ctx = Context(thread_name, self._seq, self)
+        ctx.now = start_time
+        gen = body(ctx, *args, **kwargs)
+        if not isinstance(gen, Iterator):
+            raise TypeError(
+                f"thread body {body!r} must be a generator function "
+                f"(got {type(gen).__name__}); add at least one `yield`"
+            )
+        thread = SimThread(ctx, gen, self._seq)
+        self._threads.append(thread)
+        self._schedule(thread)
+        return thread
+
+    def _schedule(self, thread: SimThread) -> None:
+        heapq.heappush(self._heap, (thread.ctx.now, thread._seq, thread))
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until all threads finish (or virtual time exceeds ``until``).
+
+        Returns the final virtual time (max over all thread clocks).
+        Raises :class:`DeadlockError` if threads remain blocked with no
+        runnable thread to wake them.
+        """
+        while self._heap:
+            now, _seq, thread = heapq.heappop(self._heap)
+            if thread.finished:
+                continue
+            if until is not None and now > until:
+                heapq.heappush(self._heap, (now, _seq, thread))
+                break
+            self._step(thread)
+        if not self._heap and self._blocked:
+            names = sorted(t.name for t in self._blocked.values())
+            raise DeadlockError(f"all runnable threads finished; blocked: {names}")
+        self.max_time = max((t.ctx.now for t in self._threads), default=0)
+        return self.max_time
+
+    def _step(self, thread: SimThread) -> None:
+        try:
+            command = next(thread.generator)
+        except StopIteration as stop:
+            thread.finished = True
+            thread.result = stop.value
+            return
+        self._dispatch(thread, command)
+
+    def _dispatch(self, thread: SimThread, command: Any) -> None:
+        if command is None:
+            self._schedule(thread)
+        elif isinstance(command, _Acquire):
+            self._do_acquire(thread, command.semaphore)
+        elif isinstance(command, _Release):
+            self._do_release(thread, command.semaphore)
+        elif isinstance(command, _BarrierWait):
+            self._do_barrier(thread, command.barrier)
+        else:
+            raise TypeError(f"thread {thread.name} yielded unknown command {command!r}")
+
+    def _do_acquire(self, thread: SimThread, sem: Semaphore) -> None:
+        if sem._tokens:
+            token_time = sem._tokens.popleft()
+            thread.ctx.advance_to(token_time)
+            self._schedule(thread)
+        else:
+            sem._waiters.append(thread)
+            self._blocked[thread._seq] = thread
+
+    def _do_release(self, thread: SimThread, sem: Semaphore) -> None:
+        release_time = thread.ctx.now
+        if sem._waiters:
+            waiter = sem._waiters.popleft()
+            del self._blocked[waiter._seq]
+            waiter.ctx.advance_to(release_time)
+            self._schedule(waiter)
+        else:
+            sem._tokens.append(release_time)
+        self._schedule(thread)
+
+    def _do_barrier(self, thread: SimThread, barrier: Barrier) -> None:
+        barrier._arrived.append(thread)
+        if len(barrier._arrived) < barrier.parties:
+            self._blocked[thread._seq] = thread
+            return
+        resume_time = max(t.ctx.now for t in barrier._arrived)
+        barrier._generation += 1
+        for waiter in barrier._arrived:
+            waiter.ctx.advance_to(resume_time)
+            if waiter._seq in self._blocked:
+                del self._blocked[waiter._seq]
+            self._schedule(waiter)
+        barrier._arrived = []

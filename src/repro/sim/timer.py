@@ -1,0 +1,67 @@
+"""User-space cycle timing, emulating ``cpuid`` + ``rdtscp``.
+
+The paper's receiver measures memory-access latencies from user space with
+serialized timestamp reads (§5.1).  Real ``rdtscp`` measurements include a
+fixed serialization/read overhead; :class:`CycleTimer` reproduces that so
+thresholds calibrated against measured latencies carry the same bias as on
+real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.scheduler import Context
+
+
+@dataclass(frozen=True)
+class TimerConfig:
+    """Cost model for serialized user-space timestamp reads.
+
+    Attributes:
+        read_overhead_cycles: cycles consumed by ``cpuid; rdtscp`` itself.
+        resolution_cycles: timer granularity; measured values are quantized
+            to multiples of this (1 = cycle-accurate, larger models coarse
+            timers such as those on recent Apple cores, §7).
+    """
+
+    read_overhead_cycles: int = 0
+    resolution_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.resolution_cycles < 1:
+            raise ValueError("timer resolution must be >= 1 cycle")
+        if self.read_overhead_cycles < 0:
+            raise ValueError("timer overhead must be >= 0")
+
+
+class CycleTimer:
+    """Measures elapsed virtual cycles the way user space would.
+
+    Usage mirrors the paper's Listing 1::
+
+        timer.start(ctx)
+        ...memory operation advances ctx.now...
+        latency = timer.stop(ctx)
+    """
+
+    def __init__(self, config: TimerConfig = TimerConfig()) -> None:
+        self.config = config
+        self._start: int = -1
+
+    def start(self, ctx: Context) -> None:
+        """Serialize and record the start timestamp."""
+        ctx.advance(self.config.read_overhead_cycles)
+        self._start = ctx.now
+
+    def stop(self, ctx: Context) -> int:
+        """Read the end timestamp; return quantized elapsed cycles."""
+        if self._start < 0:
+            raise RuntimeError("CycleTimer.stop() called before start()")
+        ctx.advance(self.config.read_overhead_cycles)
+        elapsed = ctx.now - self._start
+        self._start = -1
+        resolution = self.config.resolution_cycles
+        if resolution > 1:
+            elapsed = (elapsed // resolution) * resolution
+        return elapsed

@@ -1,0 +1,187 @@
+"""Tests for analysis helpers: stats, tables, and FEC coding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    decode_stream,
+    encode_stream,
+    fec_assessment,
+    format_table,
+    hamming74_decode,
+    hamming74_encode,
+    split_by_bit,
+    summarize_latencies,
+)
+from repro.analysis.report import ResultTable
+
+
+# ---------------------------------------------------------------------------
+# Stats
+# ---------------------------------------------------------------------------
+
+def test_summarize_latencies_basic():
+    stats = summarize_latencies([10, 20, 30, 40])
+    assert stats.count == 4
+    assert stats.mean == 25
+    assert stats.minimum == 10
+    assert stats.maximum == 40
+    assert stats.p50 == 25
+    assert "n=4" in stats.summary()
+
+
+def test_summarize_latencies_single_value():
+    stats = summarize_latencies([7])
+    assert stats.p50 == 7
+    assert stats.stdev == 0
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize_latencies([])
+
+
+def test_split_by_bit():
+    zeros, ones = split_by_bit([10, 20, 30], [0, 1, 0])
+    assert zeros == [10, 30]
+    assert ones == [20]
+    with pytest.raises(ValueError):
+        split_by_bit([1], [0, 1])
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+def test_format_table_alignment():
+    text = format_table(["a", "long_header"], [[1, 2], [333, 4]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "long_header" in lines[1]
+    assert len({len(line) for line in lines[1:]}) <= 2  # aligned rows
+
+
+def test_result_table_row_validation(tmp_path):
+    table = ResultTable("t", ["x", "y"], output_dir=str(tmp_path))
+    table.add(1, 2)
+    with pytest.raises(ValueError):
+        table.add(1)
+    table.add_mapping({"x": 3, "y": 4})
+    text = table.emit()
+    assert (tmp_path / "t.txt").read_text().strip() == text.strip()
+
+
+# ---------------------------------------------------------------------------
+# Hamming(7,4)
+# ---------------------------------------------------------------------------
+
+def test_hamming_roundtrip_clean():
+    for value in range(16):
+        nibble = [(value >> i) & 1 for i in range(4)]
+        assert hamming74_decode(hamming74_encode(nibble)) == nibble
+
+
+@given(value=st.integers(min_value=0, max_value=15),
+       flip=st.integers(min_value=0, max_value=6))
+@settings(max_examples=112)
+def test_hamming_corrects_any_single_error(value, flip):
+    nibble = [(value >> i) & 1 for i in range(4)]
+    codeword = hamming74_encode(nibble)
+    codeword[flip] ^= 1
+    assert hamming74_decode(codeword) == nibble
+
+
+def test_hamming_validation():
+    with pytest.raises(ValueError):
+        hamming74_encode([1, 0, 1])
+    with pytest.raises(ValueError):
+        hamming74_decode([1] * 6)
+
+
+def test_stream_roundtrip_with_padding():
+    bits = [1, 0, 1, 1, 0, 1]  # not a multiple of 4
+    encoded = encode_stream(bits)
+    assert len(encoded) % 7 == 0
+    decoded = decode_stream(encoded)
+    assert decoded[:6] == bits
+
+
+def test_stream_decode_validation():
+    with pytest.raises(ValueError):
+        decode_stream([1] * 8)
+
+
+# ---------------------------------------------------------------------------
+# FEC goodput
+# ---------------------------------------------------------------------------
+
+def test_fec_noiseless_costs_only_rate():
+    a = fec_assessment(14.0, 0.0)
+    assert a.goodput_mbps == pytest.approx(14.0 * 4 / 7)
+    assert a.residual_error_rate == 0.0
+
+
+def test_fec_improves_reliability_at_bandwidth_cost():
+    a = fec_assessment(5.27, 0.05)  # the DMA channel's regime
+    assert a.residual_error_rate < 0.05
+    assert a.goodput_mbps < 5.27
+    assert "goodput" in a.summary()
+
+
+def test_fec_validation():
+    with pytest.raises(ValueError):
+        fec_assessment(-1.0, 0.1)
+    with pytest.raises(ValueError):
+        fec_assessment(1.0, 1.5)
+
+
+# ---------------------------------------------------------------------------
+# ASCII figures
+# ---------------------------------------------------------------------------
+
+def test_bar_chart_scales_to_peak():
+    from repro.analysis import bar_chart
+    text = bar_chart([("a", 10.0), ("b", 5.0)], width=10, title="T",
+                     unit=" Mb/s")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].count("#") == 10
+    assert lines[2].count("#") == 5
+    assert "Mb/s" in lines[1]
+
+
+def test_bar_chart_edge_cases():
+    from repro.analysis import bar_chart
+    assert bar_chart([], title="empty") == "empty"
+    text = bar_chart([("zero", 0.0)])
+    assert "zero" in text
+    with pytest.raises(ValueError):
+        bar_chart([("a", 1.0)], width=2)
+
+
+def test_grouped_bar_chart_renders_all_series():
+    from repro.analysis import grouped_bar_chart
+    text = grouped_bar_chart([("BFS", {"crp": 0.19, "ctd": 0.27}),
+                              ("PR", {"crp": 0.46, "ctd": 0.47})],
+                             title="fig11", unit="x")
+    assert "BFS" in text and "PR" in text
+    assert text.count("crp") == 2
+    assert text.count("ctd") == 2
+
+
+def test_latency_histogram_marks_threshold():
+    from repro.analysis import latency_histogram
+    text = latency_histogram([90, 95, 100, 180, 185], bucket_cycles=10,
+                             threshold=150, title="fig7")
+    assert "threshold" in text
+    # hits appear before the marker, conflicts after
+    marker_at = text.index("threshold")
+    assert text.index("90") < marker_at < text.index("180")
+
+
+def test_latency_histogram_validation():
+    from repro.analysis import latency_histogram
+    assert latency_histogram([], title="x") == "x"
+    with pytest.raises(ValueError):
+        latency_histogram([1], bucket_cycles=0)

@@ -1,0 +1,75 @@
+"""Unit tests for the covert-channel framework."""
+
+import pytest
+
+from repro import System, SystemConfig
+from repro.attacks import ChannelResult, CovertChannel, random_bits
+
+
+def make_result(sent, received, cycles=2600):
+    return ChannelResult(attack="test", sent=sent, received=received,
+                         cycles=cycles, cpu_hz=2.6e9)
+
+
+def test_random_bits_reproducible():
+    assert random_bits(64, seed=3) == random_bits(64, seed=3)
+    assert random_bits(64, seed=3) != random_bits(64, seed=4)
+    assert set(random_bits(256, seed=0)) == {0, 1}
+    with pytest.raises(ValueError):
+        random_bits(-1)
+
+
+def test_error_rate_and_correct_bits():
+    r = make_result([1, 0, 1, 0], [1, 1, 1, 0])
+    assert r.errors == 1
+    assert r.correct_bits == 3
+    assert r.error_rate == 0.25
+
+
+def test_throughput_counts_only_correct_bits():
+    """§5.1: throughput is measured on successfully leaked data only."""
+    r = make_result([1, 0, 1, 0], [1, 1, 1, 0], cycles=2600)
+    # 3 correct bits over 2600 cycles at 2.6 GHz -> 3 Mb/s.
+    assert r.throughput_mbps == pytest.approx(3.0)
+    assert r.raw_throughput_mbps == pytest.approx(4.0)
+
+
+def test_zero_cycles_guard():
+    r = make_result([1], [1], cycles=0)
+    assert r.throughput_mbps == 0.0
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(ValueError):
+        make_result([1, 0], [1])
+
+
+def test_summary_mentions_attack_and_error():
+    text = make_result([1, 0], [1, 1]).summary()
+    assert "test" in text
+    assert "50.00%" in text
+
+
+def test_decode_threshold():
+    channel = CovertChannel(System(SystemConfig.paper_default()),
+                            threshold_cycles=150)
+    assert channel.decode(151) == 1
+    assert channel.decode(150) == 0
+    assert channel.decode(90) == 0
+
+
+def test_check_bits_validation():
+    assert CovertChannel.check_bits([1, 0, True, False]) == [1, 0, 1, 0]
+    with pytest.raises(ValueError):
+        CovertChannel.check_bits([2])
+
+
+def test_transmit_is_abstract():
+    channel = CovertChannel(System(SystemConfig.paper_default()))
+    with pytest.raises(NotImplementedError):
+        channel.transmit([1])
+
+
+def test_invalid_threshold_rejected():
+    with pytest.raises(ValueError):
+        CovertChannel(System(SystemConfig.paper_default()), threshold_cycles=0)

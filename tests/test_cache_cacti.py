@@ -1,0 +1,32 @@
+"""Tests for the CACTI-style LLC latency model (Figs. 2-3 substrate)."""
+
+import pytest
+
+from repro.cache import llc_latency_cycles
+
+
+def test_table2_calibration_point():
+    assert llc_latency_cycles(16, 16) == 32
+
+
+def test_latency_grows_with_size():
+    """Fig. 2: larger LLCs are slower to access."""
+    sizes = [2, 4, 8, 16, 32, 64]
+    latencies = [llc_latency_cycles(s, 16) for s in sizes]
+    assert latencies == sorted(latencies)
+    assert latencies[-1] > latencies[0]
+
+
+def test_latency_grows_with_ways():
+    """Fig. 3: higher associativity costs lookup latency."""
+    ways = [2, 4, 8, 16, 32, 64, 128]
+    latencies = [llc_latency_cycles(16, w) for w in ways]
+    assert latencies == sorted(latencies)
+    assert latencies[-1] > latencies[0]
+
+
+def test_invalid_inputs_rejected():
+    with pytest.raises(ValueError):
+        llc_latency_cycles(0, 16)
+    with pytest.raises(ValueError):
+        llc_latency_cycles(16, 0)

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_table2_command(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "DDR4-2400" in out
+
+
+def test_covert_command_single_attack(capsys):
+    assert main(["covert", "--attack", "impact-pnm", "--bits", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "impact-pnm" in out
+    assert "Mb/s" in out
+
+
+def test_covert_command_rejects_unknown_attack():
+    with pytest.raises(SystemExit):
+        main(["covert", "--attack", "rowhammer"])
+
+
+def test_covert_eviction_switches_to_xor_mapping(capsys):
+    assert main(["covert", "--attack", "drama-eviction", "--bits", "16"]) == 0
+    assert "drama-eviction" in capsys.readouterr().out
+
+
+def test_sidechannel_command(capsys):
+    assert main(["sidechannel", "--banks", "64", "--rounds", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "64 banks" in out
+    assert "leaked" in out
+
+
+def test_recon_command(capsys):
+    assert main(["recon", "--mapping", "row"]) == 0
+    out = capsys.readouterr().out
+    assert "bank bits" in out
+    assert "'row'" in out
+
+
+def test_detect_command(capsys):
+    assert main(["detect", "--bits", "48"]) == 0
+    out = capsys.readouterr().out
+    assert "impact-pnm" in out
+    assert "no cache activity" in out
+
+
+def test_defenses_command_security_only(capsys):
+    assert main(["defenses", "--bits", "64"]) == 0
+    out = capsys.readouterr().out
+    assert "mpr" in out
+    assert "eliminated" in out

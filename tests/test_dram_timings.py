@@ -1,0 +1,50 @@
+"""Unit tests for DRAM timing parameters and derived latencies."""
+
+import pytest
+
+from repro.dram import DRAMTimings
+
+
+def test_paper_defaults_produce_sec31_gap():
+    """§3.1: a row conflict costs ~74 CPU cycles more than a hit."""
+    t = DRAMTimings()
+    assert t.conflict_hit_gap_cycles == pytest.approx(70, abs=8)
+
+
+def test_cycle_conversion_rounds():
+    t = DRAMTimings(cpu_ghz=2.6)
+    assert t.ns_to_cycles(13.5) == 35
+    assert t.ns_to_cycles(100.0) == 260
+
+
+def test_latency_ordering():
+    t = DRAMTimings()
+    assert t.hit_cycles < t.empty_cycles < t.conflict_cycles
+
+
+def test_conflict_is_precharge_plus_empty():
+    t = DRAMTimings()
+    assert t.conflict_cycles == t.rp_cycles + t.empty_cycles
+
+
+def test_rowclone_latency_exceeds_single_activation():
+    t = DRAMTimings()
+    assert t.rowclone_fpm_cycles > t.rcd_cycles
+
+
+def test_row_timeout_disabled_by_default():
+    assert DRAMTimings().row_timeout_cycles == 0
+
+
+def test_row_timeout_configurable():
+    t = DRAMTimings(row_timeout_ns=100.0)
+    assert t.row_timeout_cycles == 260
+
+
+@pytest.mark.parametrize("field,value", [
+    ("cpu_ghz", 0), ("t_rcd_ns", -1), ("t_rp_ns", 0), ("t_cas_ns", 0),
+    ("t_ras_ns", 0), ("t_refi_ns", 0), ("t_rfc_ns", 0), ("row_timeout_ns", -5),
+])
+def test_invalid_parameters_rejected(field, value):
+    with pytest.raises(ValueError):
+        DRAMTimings(**{field: value})

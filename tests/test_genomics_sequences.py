@@ -1,0 +1,91 @@
+"""Unit and property tests for synthetic genome/read generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.genomics import generate_reference, mutate_genome, sample_reads
+from repro.genomics.sequences import ALPHABET
+
+
+def test_reference_deterministic_and_valid():
+    a = generate_reference(500, seed=3)
+    b = generate_reference(500, seed=3)
+    assert a == b
+    assert len(a) == 500
+    assert set(a) <= set(ALPHABET)
+    assert generate_reference(500, seed=4) != a
+
+
+def test_reference_rejects_bad_length():
+    with pytest.raises(ValueError):
+        generate_reference(0)
+
+
+def test_mutation_produces_similar_but_distinct_genome():
+    ref = generate_reference(2000, seed=0)
+    sample = mutate_genome(ref, snp_rate=0.01, indel_rate=0.002, seed=1)
+    assert sample != ref
+    # Length within indel drift.
+    assert abs(len(sample) - len(ref)) < len(ref) * 0.05
+
+
+def test_mutation_snps_only_preserves_positions():
+    ref = generate_reference(2000, seed=0)
+    sample = mutate_genome(ref, snp_rate=0.01, indel_rate=0.0, seed=1)
+    assert len(sample) == len(ref)
+    same = sum(1 for a, b in zip(ref, sample) if a == b)
+    # ~1% substitution rate: the overwhelming majority is unchanged.
+    assert same > len(ref) * 0.97
+
+
+def test_mutation_indels_change_length():
+    ref = generate_reference(5000, seed=0)
+    sample = mutate_genome(ref, snp_rate=0.0, indel_rate=0.01, seed=1)
+    assert len(sample) != len(ref)
+
+
+def test_mutation_zero_rates_is_identity():
+    ref = generate_reference(300, seed=0)
+    assert mutate_genome(ref, snp_rate=0.0, indel_rate=0.0) == ref
+
+
+def test_mutation_rate_validation():
+    ref = generate_reference(100, seed=0)
+    with pytest.raises(ValueError):
+        mutate_genome(ref, snp_rate=2.0)
+
+
+def test_reads_carry_true_positions():
+    genome = generate_reference(1000, seed=5)
+    reads = sample_reads(genome, num_reads=20, read_length=100,
+                         error_rate=0.0, seed=6)
+    assert len(reads) == 20
+    for read, pos in reads:
+        assert read == genome[pos:pos + 100]
+
+
+def test_reads_with_errors_differ():
+    genome = generate_reference(1000, seed=5)
+    reads = sample_reads(genome, num_reads=10, read_length=100,
+                         error_rate=0.2, seed=6)
+    assert any(read != genome[pos:pos + 100] for read, pos in reads)
+
+
+def test_reads_validation():
+    genome = generate_reference(50, seed=0)
+    with pytest.raises(ValueError):
+        sample_reads(genome, num_reads=1, read_length=100)
+    with pytest.raises(ValueError):
+        sample_reads(genome, num_reads=-1, read_length=10)
+
+
+@given(length=st.integers(min_value=200, max_value=1000),
+       seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=20)
+def test_reads_always_within_genome(length, seed):
+    genome = generate_reference(length, seed=seed)
+    for read, pos in sample_reads(genome, num_reads=5, read_length=50,
+                                  seed=seed):
+        assert 0 <= pos <= length - 50
+        assert len(read) == 50

@@ -1,0 +1,170 @@
+"""Unit tests for the PEI engine and the PMU locality monitor."""
+
+import pytest
+
+from repro.cache import CacheHierarchy, HierarchyConfig
+from repro.dram import AccessKind, DRAMGeometry, MemoryController, MemoryControllerConfig
+from repro.pim import ExecutionSite, LocalityMonitor, PEIConfig, PEIEngine
+
+GEOM = DRAMGeometry(ranks=1, banks_per_rank=16, rows_per_bank=4096)
+
+
+def make_engine(**pei_kwargs):
+    controller = MemoryController(MemoryControllerConfig(geometry=GEOM))
+    hierarchy = CacheHierarchy(HierarchyConfig(num_cores=1, llc_size_mb=2.0,
+                                               prefetchers_enabled=False),
+                               controller)
+    return PEIEngine(PEIConfig(**pei_kwargs), controller, hierarchy)
+
+
+# ---------------------------------------------------------------------------
+# Locality monitor
+# ---------------------------------------------------------------------------
+
+def test_monitor_first_touch_goes_to_memory():
+    monitor = LocalityMonitor(PEIConfig())
+    assert monitor.observe(0x1000) is False
+
+
+def test_monitor_ignore_flag_skips_first_hit():
+    """[93]: the first hit on a fresh entry is ignored — the bypass
+    IMPACT-PnM relies on (§4.1)."""
+    monitor = LocalityMonitor(PEIConfig(ignore_first_hit=True,
+                                        locality_threshold=1))
+    assert monitor.observe(0x1000) is False  # allocate
+    assert monitor.observe(0x1000) is False  # first hit ignored
+    assert monitor.observe(0x1000) is True   # now high locality
+
+
+def test_monitor_without_ignore_flag_detects_sooner():
+    monitor = LocalityMonitor(PEIConfig(ignore_first_hit=False,
+                                        locality_threshold=1))
+    assert monitor.observe(0x1000) is False
+    assert monitor.observe(0x1000) is True
+
+
+def test_monitor_attacker_set_ignore_re_arms_bypass():
+    """The attacker can keep re-setting the ignore flag to stay on the
+    memory path with a small address range (§4.1 step 1)."""
+    monitor = LocalityMonitor(PEIConfig(ignore_first_hit=True,
+                                        locality_threshold=1))
+    monitor.observe(0x1000)
+    for _ in range(10):
+        assert monitor.observe(0x1000, set_ignore=True) is False
+
+
+def test_monitor_eviction_forgets_cold_entries():
+    config = PEIConfig(monitor_entries=4, monitor_ways=1,
+                       locality_threshold=1, ignore_first_hit=False)
+    monitor = LocalityMonitor(config, line_bytes=64)
+    # Entries are direct-mapped on block % 4: blocks 0 and 4 collide.
+    monitor.observe(0 * 64)
+    monitor.observe(4 * 64)  # evicts block 0
+    assert monitor.observe(0 * 64) is False  # fresh allocation again
+
+
+def test_monitor_distinct_blocks_never_high_locality():
+    monitor = LocalityMonitor(PEIConfig())
+    for i in range(64):
+        assert monitor.observe(i * 64) is False
+
+
+# ---------------------------------------------------------------------------
+# PEI engine
+# ---------------------------------------------------------------------------
+
+def test_memory_execution_reaches_dram_directly():
+    engine = make_engine()
+    controller = engine.controller
+    addr = controller.address_of(bank=3, row=17)
+    result = engine.execute(addr, issued=0)
+    assert result.site is ExecutionSite.MEMORY
+    assert result.bank == 3
+    assert controller.open_rows()[3] == 17
+    # The cache hierarchy saw nothing.
+    assert engine.hierarchy.stats.demand_accesses == 0
+
+
+def test_memory_execution_latency_breakdown():
+    engine = make_engine(issue_cycles=2, network_cycles=25, pcu_op_cycles=3)
+    controller = engine.controller
+    addr = controller.address_of(bank=0, row=1)
+    t = controller.config.timings
+    result = engine.execute(addr, issued=0)
+    expected = 2 + 25 + 4 + t.empty_cycles + 3 + 25  # queue_cycles = 4
+    assert result.latency == expected
+
+
+def test_pei_hit_vs_conflict_straddles_threshold():
+    """Fig. 7(a): hits decode below 150 cycles, conflicts above."""
+    engine = make_engine()
+    controller = engine.controller
+    row_a = controller.address_of(bank=0, row=10)
+    row_b = controller.address_of(bank=0, row=20)
+    engine.execute(row_a, issued=0)
+    hit = engine.execute(row_a, issued=10_000)
+    assert hit.kind is AccessKind.HIT
+    assert hit.latency < 150
+    conflict = engine.execute(row_b, issued=20_000)
+    assert conflict.kind is AccessKind.CONFLICT
+    assert conflict.latency > 150
+
+
+def test_high_locality_pei_executes_on_host():
+    engine = make_engine(locality_threshold=1, ignore_first_hit=False)
+    addr = engine.controller.address_of(bank=0, row=1)
+    engine.execute(addr, issued=0)
+    result = engine.execute(addr, issued=10_000)
+    assert result.site is ExecutionSite.HOST
+    assert engine.hierarchy.stats.demand_accesses == 1
+
+
+def test_host_execution_hits_cache_and_hides_row_state():
+    """Once on the host path, a warm PEI never reaches DRAM — the attack
+    signal disappears, which is why the bypass matters."""
+    engine = make_engine(locality_threshold=1, ignore_first_hit=False)
+    addr = engine.controller.address_of(bank=0, row=1)
+    engine.execute(addr, issued=0)          # memory; fills nothing
+    engine.execute(addr, issued=10_000)     # host; misses, fills caches
+    result = engine.execute(addr, issued=20_000)
+    assert result.site is ExecutionSite.HOST
+    assert result.kind is None  # served from cache: no DRAM evidence
+
+
+def test_force_site_overrides_monitor():
+    engine = make_engine(locality_threshold=1, ignore_first_hit=False)
+    addr = engine.controller.address_of(bank=0, row=1)
+    result = engine.execute(addr, issued=0, force_site=ExecutionSite.HOST)
+    assert result.site is ExecutionSite.HOST
+
+
+def test_execute_parallel_overlaps_bank_operations():
+    """§4.3: the attacker probes many banks with back-to-back PEIs; DRAM
+    operations overlap across banks, so total time << serial sum."""
+    engine = make_engine()
+    controller = engine.controller
+    addrs = [controller.address_of(bank=b, row=5) for b in range(16)]
+    results = engine.execute_parallel(addrs, issued=0)
+    assert len(results) == 16
+    serial_estimate = sum(r.latency for r in results)
+    wall_clock = max(r.finish for r in results)
+    assert wall_clock < serial_estimate / 2
+
+
+def test_execute_parallel_preserves_order_and_kinds():
+    engine = make_engine()
+    controller = engine.controller
+    addrs = [controller.address_of(bank=b, row=5) for b in range(4)]
+    engine.execute_parallel(addrs, issued=0)
+    again = engine.execute_parallel(addrs, issued=100_000)
+    assert [r.bank for r in again] == [0, 1, 2, 3]
+    assert all(r.kind is AccessKind.HIT for r in again)
+
+
+def test_pei_config_validation():
+    with pytest.raises(ValueError):
+        PEIConfig(issue_cycles=-1)
+    with pytest.raises(ValueError):
+        PEIConfig(monitor_entries=5, monitor_ways=2)
+    with pytest.raises(ValueError):
+        PEIConfig(locality_threshold=0)

@@ -1,0 +1,277 @@
+"""Unit tests for the virtual-time scheduler and sync primitives."""
+
+import pytest
+
+from repro.sim import Barrier, DeadlockError, Scheduler, Semaphore
+
+
+def test_single_thread_runs_to_completion():
+    sched = Scheduler()
+    seen = []
+
+    def body(ctx):
+        ctx.advance(10)
+        yield None
+        seen.append(ctx.now)
+
+    thread = sched.spawn(body)
+    end = sched.run()
+    assert seen == [10]
+    assert thread.finished
+    assert end == 10
+
+
+def test_threads_interleave_in_time_order():
+    sched = Scheduler()
+    order = []
+
+    def body(ctx, step):
+        for _ in range(3):
+            ctx.advance(step)
+            order.append((ctx.name, ctx.now))
+            yield None
+
+    sched.spawn(body, 5, name="fast")
+    sched.spawn(body, 7, name="slow")
+    sched.run()
+    times = [t for _, t in order]
+    assert times == sorted(times)
+
+
+def test_thread_result_captured():
+    sched = Scheduler()
+
+    def body(ctx):
+        ctx.advance(1)
+        yield None
+        return 42
+
+    thread = sched.spawn(body)
+    sched.run()
+    assert thread.result == 42
+
+
+def test_advance_negative_raises():
+    sched = Scheduler()
+
+    def body(ctx):
+        with pytest.raises(ValueError):
+            ctx.advance(-1)
+        yield None
+
+    sched.spawn(body)
+    sched.run()
+
+
+def test_non_generator_body_rejected():
+    sched = Scheduler()
+
+    def not_a_generator(ctx):
+        return 1
+
+    with pytest.raises(TypeError):
+        sched.spawn(not_a_generator)
+
+
+def test_semaphore_timestamp_propagates_forward():
+    """A waiter cannot consume a token before it was released."""
+    sched = Scheduler()
+    sem = Semaphore()
+    resume_times = {}
+
+    def producer(ctx):
+        ctx.advance(100)
+        yield sem.release()
+
+    def consumer(ctx):
+        ctx.advance(5)
+        yield sem.acquire()
+        resume_times["consumer"] = ctx.now
+
+    sched.spawn(producer)
+    sched.spawn(consumer)
+    sched.run()
+    assert resume_times["consumer"] == 100
+
+
+def test_semaphore_no_backward_time_travel_for_late_acquirer():
+    """A token released early is consumed at the acquirer's own later time."""
+    sched = Scheduler()
+    sem = Semaphore()
+    resume_times = {}
+
+    def producer(ctx):
+        ctx.advance(10)
+        yield sem.release()
+
+    def consumer(ctx):
+        ctx.advance(500)
+        yield sem.acquire()
+        resume_times["consumer"] = ctx.now
+
+    sched.spawn(producer)
+    sched.spawn(consumer)
+    sched.run()
+    assert resume_times["consumer"] == 500
+
+
+def test_semaphore_initial_tokens():
+    sched = Scheduler()
+    sem = Semaphore(initial=2)
+    done = []
+
+    def consumer(ctx):
+        yield sem.acquire()
+        done.append(ctx.name)
+
+    sched.spawn(consumer, name="a")
+    sched.spawn(consumer, name="b")
+    sched.run()
+    assert sorted(done) == ["a", "b"]
+
+
+def test_semaphore_negative_initial_rejected():
+    with pytest.raises(ValueError):
+        Semaphore(initial=-1)
+
+
+def test_semaphore_fifo_pipelining_models_overlap():
+    """Sender/receiver batch pipelining: receiver k starts only after the
+    sender finished batch k, and overlaps with sender batch k+1 (§4.1)."""
+    sched = Scheduler()
+    sem = Semaphore()
+    batches = 4
+    send_cost, probe_cost = 100, 60
+    probe_windows = []
+
+    def sender(ctx):
+        for _ in range(batches):
+            ctx.advance(send_cost)
+            yield sem.release()
+
+    def receiver(ctx):
+        for _ in range(batches):
+            yield sem.acquire()
+            start = ctx.now
+            ctx.advance(probe_cost)
+            probe_windows.append((start, ctx.now))
+            yield None
+
+    sched.spawn(sender)
+    sched.spawn(receiver)
+    total = sched.run()
+    # Sender finishes batch k at (k+1)*send_cost; probes start no earlier.
+    for k, (start, _end) in enumerate(probe_windows):
+        assert start >= (k + 1) * send_cost
+    # Pipelined total << serialized total.
+    assert total < batches * (send_cost + probe_cost)
+
+
+def test_barrier_aligns_to_max_arrival():
+    sched = Scheduler()
+    bar = Barrier(parties=3)
+    resumed = []
+
+    def body(ctx, delay):
+        ctx.advance(delay)
+        yield bar.wait()
+        resumed.append(ctx.now)
+
+    for delay in (10, 50, 30):
+        sched.spawn(body, delay)
+    sched.run()
+    assert resumed == [50, 50, 50]
+
+
+def test_barrier_reusable_across_generations():
+    sched = Scheduler()
+    bar = Barrier(parties=2)
+    resumed = []
+
+    def body(ctx, delay):
+        for round_ in range(2):
+            ctx.advance(delay)
+            yield bar.wait()
+            resumed.append((round_, ctx.now))
+
+    sched.spawn(body, 10)
+    sched.spawn(body, 25)
+    sched.run()
+    by_round = {}
+    for round_, t in resumed:
+        by_round.setdefault(round_, set()).add(t)
+    assert by_round[0] == {25}
+    assert by_round[1] == {50}
+
+
+def test_barrier_requires_positive_parties():
+    with pytest.raises(ValueError):
+        Barrier(parties=0)
+
+
+def test_deadlock_detected():
+    sched = Scheduler()
+    sem = Semaphore()
+
+    def body(ctx):
+        yield sem.acquire()
+
+    sched.spawn(body)
+    with pytest.raises(DeadlockError):
+        sched.run()
+
+
+def test_fence_waits_for_tracked_completions():
+    sched = Scheduler()
+    fenced_at = []
+
+    def body(ctx):
+        ctx.track_completion(ctx.now + 300)
+        ctx.track_completion(ctx.now + 150)
+        ctx.advance(10)
+        ctx.fence()
+        fenced_at.append(ctx.now)
+        yield None
+
+    sched.spawn(body)
+    sched.run()
+    assert fenced_at == [300]
+
+
+def test_fence_noop_without_pending():
+    sched = Scheduler()
+
+    def body(ctx):
+        ctx.advance(7)
+        ctx.fence()
+        assert ctx.now == 7
+        yield None
+
+    sched.spawn(body)
+    sched.run()
+
+
+def test_run_until_bound_stops_early():
+    sched = Scheduler()
+    steps = []
+
+    def body(ctx):
+        for _ in range(100):
+            ctx.advance(10)
+            steps.append(ctx.now)
+            yield None
+
+    sched.spawn(body)
+    sched.run(until=55)
+    assert steps and max(steps) <= 65  # stops shortly after the bound
+
+
+def test_unknown_command_rejected():
+    sched = Scheduler()
+
+    def body(ctx):
+        yield "bogus"
+
+    sched.spawn(body)
+    with pytest.raises(TypeError):
+        sched.run()

@@ -1,0 +1,81 @@
+"""Unit tests for the rdtscp-style cycle timer."""
+
+import pytest
+
+from repro.sim import CycleTimer, Scheduler, TimerConfig
+
+
+def _run(body):
+    sched = Scheduler()
+    thread = sched.spawn(body)
+    sched.run()
+    return thread.result
+
+
+def test_measures_elapsed_cycles():
+    def body(ctx):
+        timer = CycleTimer()
+        timer.start(ctx)
+        ctx.advance(123)
+        latency = timer.stop(ctx)
+        yield None
+        return latency
+
+    assert _run(body) == 123
+
+
+def test_overhead_included_in_measurement():
+    """Each timestamp read costs overhead; the stop-side read lands inside
+    the measured window, matching real cpuid+rdtscp behaviour."""
+    def body(ctx):
+        timer = CycleTimer(TimerConfig(read_overhead_cycles=20))
+        timer.start(ctx)
+        ctx.advance(100)
+        latency = timer.stop(ctx)
+        yield None
+        return latency
+
+    assert _run(body) == 120
+
+
+def test_coarse_resolution_quantizes():
+    def body(ctx):
+        timer = CycleTimer(TimerConfig(resolution_cycles=64))
+        timer.start(ctx)
+        ctx.advance(130)
+        latency = timer.stop(ctx)
+        yield None
+        return latency
+
+    assert _run(body) == 128
+
+
+def test_stop_before_start_raises():
+    def body(ctx):
+        timer = CycleTimer()
+        with pytest.raises(RuntimeError):
+            timer.stop(ctx)
+        yield None
+
+    _run(body)
+
+
+def test_timer_reusable():
+    def body(ctx):
+        timer = CycleTimer()
+        values = []
+        for delta in (10, 20):
+            timer.start(ctx)
+            ctx.advance(delta)
+            values.append(timer.stop(ctx))
+        yield None
+        return values
+
+    assert _run(body) == [10, 20]
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        TimerConfig(resolution_cycles=0)
+    with pytest.raises(ValueError):
+        TimerConfig(read_overhead_cycles=-1)
