@@ -1,4 +1,4 @@
-.PHONY: install test bench examples results clean
+.PHONY: install test bench bench-quick bench-clean examples results clean
 
 install:
 	pip install -e . || pip install -e . --no-build-isolation
@@ -8,6 +8,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
+
+bench-quick:
+	python scripts/bench_snapshot.py
+
+bench-clean:
+	rm -rf benchmarks/results/.cache
 
 examples:
 	python examples/quickstart.py

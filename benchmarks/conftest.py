@@ -11,8 +11,10 @@ import os
 import pytest
 
 from repro.analysis import ResultTable
+from repro.exp import ResultCache, default_jobs, run_sweep
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+SWEEP_CACHE_DIR = os.path.join(RESULTS_DIR, ".cache")
 
 
 @pytest.fixture
@@ -21,3 +23,29 @@ def result_table():
     def factory(name, headers, title=None):
         return ResultTable(name, headers, title=title, output_dir=RESULTS_DIR)
     return factory
+
+
+@pytest.fixture(scope="session")
+def sweep_cache():
+    """On-disk result cache shared by the figure sweeps.
+
+    Keyed by (experiment, params, code version), so editing any module
+    under ``repro`` invalidates every entry; an unchanged re-run of the
+    suite replays every figure from disk.  Delete ``results/.cache`` (or
+    run ``make bench-clean``) for a cold run.
+    """
+    return ResultCache(SWEEP_CACHE_DIR)
+
+
+@pytest.fixture
+def run_points(sweep_cache):
+    """Run sweep points through the parallel runner + result cache.
+
+    ``REPRO_JOBS`` overrides the worker count (1 forces serial execution).
+    """
+    jobs_env = os.environ.get("REPRO_JOBS")
+    jobs = int(jobs_env) if jobs_env else default_jobs()
+
+    def run(points):
+        return run_sweep(points, jobs=jobs, cache=sweep_cache)
+    return run

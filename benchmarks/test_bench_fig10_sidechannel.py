@@ -7,47 +7,22 @@ decode to more noise (<15% error) — while each leak becomes more precise
 
 The victim schedule comes from the real minimizer-seeding pipeline over a
 synthetic reference (the paper uses the human reference with synthetic
-samples; the channel leaks positions, not biology).
+samples; the channel leaks positions, not biology).  Each worker process
+rebuilds the identical seeded pipeline inside
+:func:`repro.exp.figures.fig10_point`, so the four bank counts run in
+parallel with bit-identical results.
 """
 
-from repro import System, SystemConfig
-from repro.attacks import ReadMappingSideChannel
-from repro.genomics import (
-    PimReadMapper,
-    ReferenceIndex,
-    generate_reference,
-    mutate_genome,
-    sample_reads,
-)
+from repro.exp.figures import fig10_sweep
 
 BANK_COUNTS = [1024, 2048, 4096, 8192]
-NOISE_RATE = 0.0105  # stray activations per kilocycle (§5.1 noise sources)
-
-REFERENCE = generate_reference(20_000, seed=31)
-SAMPLE = mutate_genome(REFERENCE, seed=32)
-READS = [r for r, _ in sample_reads(SAMPLE, num_reads=6, read_length=150,
-                                    error_rate=0.002, seed=33)]
-BASE_INDEX = ReferenceIndex(REFERENCE, num_banks=BANK_COUNTS[0])
 
 
-def run_point(num_banks, rounds=100):
-    config = (SystemConfig.paper_default()
-              .with_banks(num_banks)
-              .with_noise(NOISE_RATE))
-    system = System(config)
-    index = BASE_INDEX.restripe(num_banks)
-    mapper = PimReadMapper(system, REFERENCE, index)
-    schedule = mapper.trace_for_reads(READS)[:rounds]
-    channel = ReadMappingSideChannel(system)
-    return channel.run(schedule, entries_per_bank=index.entries_per_bank)
-
-
-def sweep():
-    return {banks: run_point(banks) for banks in BANK_COUNTS}
-
-
-def test_fig10_sidechannel_sweep(benchmark, result_table):
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+def test_fig10_sidechannel_sweep(benchmark, result_table, run_points):
+    sweep = fig10_sweep(BANK_COUNTS)
+    outcome = benchmark.pedantic(lambda: run_points(sweep),
+                                 rounds=1, iterations=1)
+    results = dict(zip(BANK_COUNTS, outcome.results))
     table = result_table(
         "fig10_sidechannel",
         ["banks", "throughput_mbps", "error_rate", "accuracy",
@@ -55,22 +30,22 @@ def test_fig10_sidechannel_sweep(benchmark, result_table):
         title="Fig. 10: RM side-channel leakage vs DRAM bank count")
     for banks in BANK_COUNTS:
         r = results[banks]
-        table.add(banks, round(r.throughput_mbps, 2),
-                  round(r.error_rate, 3), round(r.accuracy, 3),
-                  round(r.entries_per_bank, 2))
+        table.add(banks, round(r["throughput_mbps"], 2),
+                  round(r["error_rate"], 3), round(r["accuracy"], 3),
+                  round(r["entries_per_bank"], 2))
     table.emit()
 
     first, last = results[BANK_COUNTS[0]], results[BANK_COUNTS[-1]]
     # Anchor points: ~7.57 Mb/s @1024 (<5% err), ~2.56 Mb/s @8192 (<15%).
-    assert abs(first.throughput_mbps - 7.57) / 7.57 < 0.15
-    assert first.error_rate < 0.05
-    assert abs(last.throughput_mbps - 2.56) / 2.56 < 0.20
-    assert last.error_rate < 0.15
+    assert abs(first["throughput_mbps"] - 7.57) / 7.57 < 0.15
+    assert first["error_rate"] < 0.05
+    assert abs(last["throughput_mbps"] - 2.56) / 2.56 < 0.20
+    assert last["error_rate"] < 0.15
     # Monotone trends across the sweep.
-    throughputs = [results[b].throughput_mbps for b in BANK_COUNTS]
+    throughputs = [results[b]["throughput_mbps"] for b in BANK_COUNTS]
     assert throughputs == sorted(throughputs, reverse=True)
-    assert last.error_rate > first.error_rate
+    assert last["error_rate"] > first["error_rate"]
     # Precision improves: candidate entries per bank halve per doubling.
-    precisions = [results[b].entries_per_bank for b in BANK_COUNTS]
+    precisions = [results[b]["entries_per_bank"] for b in BANK_COUNTS]
     for coarse, fine in zip(precisions, precisions[1:]):
         assert fine == coarse / 2

@@ -9,21 +9,23 @@ cache-resident BC.
 Also verifies the security side: both defenses (and MPR) actually
 eliminate the IMPACT-PnM channel — the figure's overheads are the price
 of a channel that is really gone.
+
+This is the slowest figure (five workloads x three row policies), so the
+:mod:`repro.exp` rewiring matters most here: the five workloads run on
+five worker processes, and the result cache replays unchanged re-runs.
 """
 
-from repro.attacks import ImpactPnmChannel
-from repro.defenses import evaluate_channel_under_defense
-from repro.workloads import evaluate_defenses
+from repro.exp import sweep_points
+from repro.exp.figures import defense_security_point, fig11_sweep
 
 WORKLOADS = ["BC", "BFS", "CC", "TC", "PR"]
 
 
-def sweep():
-    return {name: evaluate_defenses(name) for name in WORKLOADS}
-
-
-def test_fig11_defense_overheads(benchmark, result_table):
-    evaluations = benchmark.pedantic(sweep, rounds=1, iterations=1)
+def test_fig11_defense_overheads(benchmark, result_table, run_points):
+    sweep = fig11_sweep(WORKLOADS)
+    outcome = benchmark.pedantic(lambda: run_points(sweep),
+                                 rounds=1, iterations=1)
+    evaluations = dict(zip(WORKLOADS, outcome.results))
     table = result_table(
         "fig11_defenses",
         ["workload", "llc_mpki", "paper_mpki", "crp_overhead_pct",
@@ -32,10 +34,10 @@ def test_fig11_defense_overheads(benchmark, result_table):
     crp_total = ctd_total = 0.0
     for name in WORKLOADS:
         ev = evaluations[name]
-        crp, ctd = ev.overhead("crp"), ev.overhead("ctd")
+        crp, ctd = ev["crp_overhead"], ev["ctd_overhead"]
         crp_total += crp
         ctd_total += ctd
-        table.add(name, round(ev.measured_mpki, 2), ev.paper_mpki,
+        table.add(name, round(ev["mpki"], 2), ev["paper_mpki"],
                   round(100 * crp, 1), round(100 * ctd, 1))
     crp_avg = crp_total / len(WORKLOADS)
     ctd_avg = ctd_total / len(WORKLOADS)
@@ -49,40 +51,41 @@ def test_fig11_defense_overheads(benchmark, result_table):
         ev = evaluations[name]
         # CTD is the costlier defense everywhere (its accesses pay the
         # worst case in latency AND bank occupancy).
-        assert ev.overhead("ctd") >= ev.overhead("crp") - 0.02, name
+        assert ev["ctd_overhead"] >= ev["crp_overhead"] - 0.02, name
     # Averages on the paper's scale.
     assert 0.08 <= crp_avg <= 0.25
     assert 0.15 <= ctd_avg <= 0.35
     assert ctd_avg > crp_avg
     # BC is cache-resident: both defenses near-free.
-    assert evaluations["BC"].overhead("ctd") < 0.03
+    assert evaluations["BC"]["ctd_overhead"] < 0.03
     # CRP is cheap for the low-row-locality workloads relative to PR.
     for name in ("TC", "CC", "BFS"):
-        assert evaluations[name].overhead("crp") \
-            < evaluations["PR"].overhead("crp")
+        assert evaluations[name]["crp_overhead"] \
+            < evaluations["PR"]["crp_overhead"]
     # MPKI ordering matches the paper's characterization.
-    mpki = {name: evaluations[name].measured_mpki for name in WORKLOADS}
+    mpki = {name: evaluations[name]["mpki"] for name in WORKLOADS}
     assert mpki["BC"] < mpki["PR"] < mpki["TC"] < mpki["BFS"] <= mpki["CC"] * 1.2
 
 
 def test_fig11_defenses_actually_eliminate_the_channel(benchmark,
-                                                       result_table):
-    def security_sweep():
-        return {defense: evaluate_channel_under_defense(
-                    lambda s: ImpactPnmChannel(s), defense, bits=128)
-                for defense in ("open", "crp", "ctd", "mpr")}
-
-    reports = benchmark.pedantic(security_sweep, rounds=1, iterations=1)
+                                                       result_table,
+                                                       run_points):
+    defenses = ["open", "crp", "ctd", "mpr"]
+    sweep = sweep_points("fig11-security", defense_security_point,
+                         "defense", defenses, bits=128, attack="impact-pnm")
+    outcome = benchmark.pedantic(lambda: run_points(sweep),
+                                 rounds=1, iterations=1)
+    reports = dict(zip(defenses, outcome.results))
     table = result_table(
         "fig11_security",
         ["defense", "blocked", "error_rate", "capacity_b_per_sym",
          "eliminated"],
         title="Sec 6: security of each defense vs IMPACT-PnM")
     for defense, report in reports.items():
-        table.add(defense, report.blocked, round(report.error_rate, 3),
-                  round(report.capacity_bits_per_symbol, 4),
-                  report.channel_eliminated)
+        table.add(defense, report["blocked"], round(report["error_rate"], 3),
+                  round(report["capacity_bits_per_symbol"], 4),
+                  report["eliminated"])
     table.emit()
-    assert not reports["open"].channel_eliminated
+    assert not reports["open"]["eliminated"]
     for defense in ("crp", "ctd", "mpr"):
-        assert reports[defense].channel_eliminated, defense
+        assert reports[defense]["eliminated"], defense

@@ -3,35 +3,22 @@
 Paper: direct-memory-access attack sustains 11.27 Mb/s across all LLC
 sizes; the baseline (eviction) attack peaks at 2.29 Mb/s and degrades as
 the LLC (and its lookup latency) grows; eviction latency rises with size.
+
+The sweep runs through :mod:`repro.exp`: points fan out across worker
+processes and land in the shared result cache, so re-runs replay from
+disk until the simulator's code changes.
 """
 
-from dataclasses import replace
-
-from repro import System, SystemConfig
-from repro.attacks import run_sec33_point
+from repro.exp.figures import fig2_sweep
 
 LLC_SIZES_MB = [2, 4, 8, 16, 32, 64]
 
 
-def sec33_system(size_mb, ways=16):
-    # LRU LLC: the paper's idealized one-request-per-way eviction (§3.3).
-    base = SystemConfig.paper_default()
-    hierarchy = replace(base.hierarchy, llc_size_mb=float(size_mb),
-                        llc_ways=ways, llc_replacement="lru",
-                        prefetchers_enabled=False)
-    return System(replace(base, hierarchy=hierarchy))
-
-
-def sweep(bits=384):
-    rows = []
-    for size in LLC_SIZES_MB:
-        point = run_sec33_point(sec33_system(size), bits=bits)
-        rows.append((size, point))
-    return rows
-
-
-def test_fig2_llc_size_sweep(benchmark, result_table):
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+def test_fig2_llc_size_sweep(benchmark, result_table, run_points):
+    points = fig2_sweep(LLC_SIZES_MB)
+    outcome = benchmark.pedantic(lambda: run_points(points),
+                                 rounds=1, iterations=1)
+    rows = list(zip(LLC_SIZES_MB, outcome.results))
     table = result_table(
         "fig2_llc_size",
         ["llc_mb", "direct_mbps", "baseline_mbps", "eviction_latency_cycles"],

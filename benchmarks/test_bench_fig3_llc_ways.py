@@ -3,25 +3,20 @@
 Paper: at a fixed 16 MB LLC, raising the way count from 2 to 128 inflates
 the eviction set (one access per way) and the lookup latency, collapsing
 the baseline attack's throughput; the direct attack is unaffected.
+
+Runs through :mod:`repro.exp` (parallel workers + shared result cache).
 """
 
-from test_bench_fig2_llc_size import sec33_system
-
-from repro.attacks import run_sec33_point
+from repro.exp.figures import fig3_sweep
 
 LLC_WAYS = [2, 4, 8, 16, 32, 64, 128]
 
 
-def sweep(bits=256):
-    rows = []
-    for ways in LLC_WAYS:
-        point = run_sec33_point(sec33_system(16, ways=ways), bits=bits)
-        rows.append((ways, point))
-    return rows
-
-
-def test_fig3_llc_ways_sweep(benchmark, result_table):
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+def test_fig3_llc_ways_sweep(benchmark, result_table, run_points):
+    points = fig3_sweep(LLC_WAYS)
+    outcome = benchmark.pedantic(lambda: run_points(points),
+                                 rounds=1, iterations=1)
+    rows = list(zip(LLC_WAYS, outcome.results))
     table = result_table(
         "fig3_llc_ways",
         ["llc_ways", "direct_mbps", "baseline_mbps", "eviction_latency_cycles"],

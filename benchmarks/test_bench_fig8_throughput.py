@@ -15,21 +15,13 @@ Paper's five key observations (§5.3):
 DRAMA and Streamline follow the paper's methodology: Streamline is the
 analytical upper bound validated against its published hardware numbers;
 the DRAMA variants are fully simulated.
+
+Each LLC size is one :mod:`repro.exp` sweep point
+(:func:`repro.exp.figures.fig8_point`), so the four sizes run on four
+worker processes and cached re-runs replay in milliseconds.
 """
 
-from dataclasses import replace
-
-from repro import System, SystemConfig
-from repro.attacks import (
-    DmaEngineChannel,
-    DramaClflushChannel,
-    DramaEvictionChannel,
-    ImpactPnmChannel,
-    ImpactPumChannel,
-    PnmOffchipChannel,
-    StreamlineChannel,
-    streamline_upper_bound_mbps,
-)
+from repro.exp.figures import fig8_sweep
 
 LLC_SIZES_MB = [8, 16, 32, 64]
 
@@ -38,34 +30,11 @@ ATTACKS = ["DRAMA-eviction", "DRAMA-clflush", "Streamline",
            "IMPACT-PuM"]
 
 
-def run_point(size_mb):
-    base = SystemConfig.paper_default().with_llc(float(size_mb))
-    xor_base = replace(base, mapping="xor")
-    point = {}
-    point["DRAMA-eviction"] = DramaEvictionChannel(System(xor_base)) \
-        .transmit_random(64, seed=1).throughput_mbps
-    point["DRAMA-clflush"] = DramaClflushChannel(System(base)) \
-        .transmit_random(192, seed=1).throughput_mbps
-    point["Streamline"] = StreamlineChannel(System(base)) \
-        .transmit_random(192, seed=1).throughput_mbps
-    point["Streamline-bound"] = streamline_upper_bound_mbps(System(base))
-    point["DMA-engine"] = DmaEngineChannel(System(base)) \
-        .transmit_random(384, seed=1).throughput_mbps
-    point["PnM-OffChip"] = PnmOffchipChannel(System(base)) \
-        .transmit_random(512, seed=1).throughput_mbps
-    point["IMPACT-PnM"] = ImpactPnmChannel(System(base)) \
-        .transmit_random(512, seed=1).throughput_mbps
-    point["IMPACT-PuM"] = ImpactPumChannel(System(base)) \
-        .transmit_random(512, seed=1).throughput_mbps
-    return point
-
-
-def sweep():
-    return {size: run_point(size) for size in LLC_SIZES_MB}
-
-
-def test_fig8_throughput_across_llc_sizes(benchmark, result_table):
-    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+def test_fig8_throughput_across_llc_sizes(benchmark, result_table, run_points):
+    sweep = fig8_sweep(LLC_SIZES_MB)
+    outcome = benchmark.pedantic(lambda: run_points(sweep),
+                                 rounds=1, iterations=1)
+    points = dict(zip(LLC_SIZES_MB, outcome.results))
     table = result_table(
         "fig8_throughput",
         ["llc_mb"] + ATTACKS,

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Quick benchmark snapshot: figure sweeps + simulator ops/sec.
+
+Runs a reduced slice of every figure sweep through :mod:`repro.exp`
+(parallel + cached exactly like the benches), times a raw simulator
+hot-path microbenchmark, and writes the whole record to ``BENCH_PR1.json``
+at the repo root.  Intended for ``make bench-quick``::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py [--jobs N] [--no-cache]
+
+The cache lives under ``benchmarks/results/.cache`` (shared with the
+pytest benches), so a snapshot taken right after the benchmark suite is
+nearly free, and a second snapshot of unchanged code replays entirely
+from disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.exp import ResultCache, code_version, default_jobs, run_sweep  # noqa: E402
+from repro.exp.figures import (  # noqa: E402
+    fig2_sweep,
+    fig3_sweep,
+    fig8_sweep,
+    fig10_sweep,
+    fig11_sweep,
+)
+
+CACHE_DIR = os.path.join(REPO_ROOT, "benchmarks", "results", ".cache")
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR1.json")
+
+# Reduced axes: one quick pass over every figure, a couple of minutes
+# serial and cold, seconds warm or parallel.
+QUICK_SWEEPS = [
+    ("fig2", lambda: fig2_sweep((2, 16, 64))),
+    ("fig3", lambda: fig3_sweep((2, 16, 128))),
+    ("fig8", lambda: fig8_sweep((8, 64))),
+    ("fig10", lambda: fig10_sweep((1024, 8192))),
+    ("fig11", lambda: fig11_sweep(("BC", "PR"), max_refs=20_000)),
+]
+
+
+def simulator_ops_per_sec() -> dict:
+    """Raw hot-path rate: demand accesses through the full hierarchy
+    (cache lookups, replacement, prefetchers, DRAM timing)."""
+    from repro.config import SystemConfig
+    from repro.system import System
+
+    system = System(SystemConfig.paper_default())
+    access = system.hierarchy.access
+    line = 64
+    n = 200_000
+    now = 0
+    started = time.perf_counter()
+    for i in range(n):
+        result = access(0, (i * line * 7) % (1 << 24), now, pc=i % 97)
+        now = result.finish
+    elapsed = time.perf_counter() - started
+    return {
+        "accesses": n,
+        "seconds": round(elapsed, 3),
+        "ops_per_sec": round(n / elapsed),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: all CPUs)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--output", default=OUTPUT)
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    cache = None if args.no_cache else ResultCache(CACHE_DIR)
+
+    record = {
+        "code_version": code_version(),
+        "jobs": jobs,
+        "cache": not args.no_cache,
+        "figures": {},
+    }
+    suite_started = time.perf_counter()
+    for name, build in QUICK_SWEEPS:
+        points = build()
+        outcome = run_sweep(points, jobs=jobs, cache=cache)
+        record["figures"][name] = {
+            "points": len(points),
+            "seconds": round(outcome.elapsed_seconds, 3),
+            "parallel": outcome.parallel,
+            "cache_hits": outcome.cache_hits,
+            "cache_misses": outcome.cache_misses,
+        }
+        if outcome.fallback_reason:
+            record["figures"][name]["fallback"] = outcome.fallback_reason
+        print(f"{name}: {len(points)} points in "
+              f"{outcome.elapsed_seconds:.2f}s "
+              f"({outcome.cache_hits} cached, jobs={jobs})")
+    record["suite_seconds"] = round(time.perf_counter() - suite_started, 3)
+
+    print("timing simulator hot path...")
+    record["simulator"] = simulator_ops_per_sec()
+    print(f"simulator: {record['simulator']['ops_per_sec']:,} accesses/sec")
+
+    record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    with open(args.output, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"suite: {record['suite_seconds']:.2f}s -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cache.replacement import ReplacementPolicy, make_replacement_policy
@@ -74,12 +74,20 @@ class CacheStats:
 
 
 class Cache:
-    """One cache level; addresses are physical byte addresses."""
+    """One cache level; addresses are physical byte addresses.
+
+    Per-set tag arrays use ``-1`` for invalid ways (physical line numbers
+    are non-negative), so lookups reduce to a C-speed ``list.index`` over
+    the set's tags with no per-way Python loop.
+    """
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         sets = config.num_sets
         ways = config.ways
+        self._num_sets = sets
+        self._ways = ways
+        self._line_bytes = config.line_bytes
         self._tags: List[List[int]] = [[-1] * ways for _ in range(sets)]
         self._valid: List[List[bool]] = [[False] * ways for _ in range(sets)]
         self._dirty: List[List[bool]] = [[False] * ways for _ in range(sets)]
@@ -92,45 +100,45 @@ class Cache:
     # ------------------------------------------------------------------
 
     def line_of(self, addr: int) -> int:
-        return addr // self.config.line_bytes
+        return addr // self._line_bytes
 
     def set_index_of(self, addr: int) -> int:
-        return self.line_of(addr) % self.config.num_sets
+        return (addr // self._line_bytes) % self._num_sets
 
     def line_addr(self, addr: int) -> int:
-        return self.line_of(addr) * self.config.line_bytes
+        return addr - addr % self._line_bytes
 
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
 
     def _find(self, addr: int) -> Optional[int]:
-        line = self.line_of(addr)
-        set_index = line % self.config.num_sets
-        tags = self._tags[set_index]
-        valid = self._valid[set_index]
-        for way in range(self.config.ways):
-            if valid[way] and tags[way] == line:
-                return way
-        return None
+        line = addr // self._line_bytes
+        try:
+            return self._tags[line % self._num_sets].index(line)
+        except ValueError:
+            return None
 
     def probe(self, addr: int) -> bool:
         """Presence check with no replacement-state side effects."""
-        return self._find(addr) is not None
+        line = addr // self._line_bytes
+        return line in self._tags[line % self._num_sets]
 
     def access(self, addr: int, is_write: bool = False) -> bool:
         """Look up ``addr``; returns True on hit (updates replacement and
         dirty state). A miss does NOT allocate — call :meth:`fill`."""
-        set_index = self.set_index_of(addr)
-        way = self._find(addr)
-        if way is not None:
-            self._policy.on_hit(set_index, way)
-            if is_write:
-                self._dirty[set_index][way] = True
-            self.stats.hits += 1
-            return True
-        self.stats.misses += 1
-        return False
+        line = addr // self._line_bytes
+        set_index = line % self._num_sets
+        try:
+            way = self._tags[set_index].index(line)
+        except ValueError:
+            self.stats.misses += 1
+            return False
+        self._policy.on_hit(set_index, way)
+        if is_write:
+            self._dirty[set_index][way] = True
+        self.stats.hits += 1
+        return True
 
     def fill(self, addr: int, dirty: bool = False) -> Optional[EvictedLine]:
         """Allocate ``addr``'s line, evicting a victim if the set is full.
@@ -138,10 +146,14 @@ class Cache:
         Returns the evicted line (for writeback/back-invalidation) or None.
         Filling a line that is already present just refreshes its state.
         """
-        set_index = self.set_index_of(addr)
-        line = self.line_of(addr)
-        existing = self._find(addr)
-        if existing is not None:
+        line = addr // self._line_bytes
+        set_index = line % self._num_sets
+        tags = self._tags[set_index]
+        try:
+            existing = tags.index(line)
+        except ValueError:
+            existing = -1
+        if existing >= 0:
             self._policy.on_hit(set_index, existing)
             if dirty:
                 self._dirty[set_index][existing] = True
@@ -150,16 +162,15 @@ class Cache:
         way = self._policy.victim(set_index, valid)
         evicted: Optional[EvictedLine] = None
         if valid[way]:
-            evicted_line = self._tags[set_index][way]
             evicted = EvictedLine(
-                addr=evicted_line * self.config.line_bytes,
+                addr=tags[way] * self._line_bytes,
                 dirty=self._dirty[set_index][way],
             )
             self.stats.evictions += 1
             if evicted.dirty:
                 self.stats.writebacks += 1
-        self._tags[set_index][way] = line
-        self._valid[set_index][way] = True
+        tags[way] = line
+        valid[way] = True
         self._dirty[set_index][way] = dirty
         self._policy.on_fill(set_index, way)
         self.stats.fills += 1
@@ -169,24 +180,31 @@ class Cache:
         """Remove ``addr``'s line if present; returns its dirty bit
         (None if the line was not present). Used by clflush and by
         back-invalidation from an inclusive LLC."""
-        set_index = self.set_index_of(addr)
-        way = self._find(addr)
-        if way is None:
+        line = addr // self._line_bytes
+        set_index = line % self._num_sets
+        tags = self._tags[set_index]
+        try:
+            way = tags.index(line)
+        except ValueError:
             return None
         dirty = self._dirty[set_index][way]
         self._valid[set_index][way] = False
         self._dirty[set_index][way] = False
-        self._tags[set_index][way] = -1
+        tags[way] = -1
         self.stats.invalidations += 1
         return dirty
 
     def resident_lines(self, set_index: int) -> List[int]:
         """Line addresses currently resident in ``set_index`` (testing aid)."""
         result = []
-        for way in range(self.config.ways):
+        for way in range(self._ways):
             if self._valid[set_index][way]:
-                result.append(self._tags[set_index][way] * self.config.line_bytes)
+                result.append(self._tags[set_index][way] * self._line_bytes)
         return result
+
+    def reset_stats(self) -> None:
+        """Zero the counters; cache contents are kept."""
+        self.stats = CacheStats()
 
     @property
     def latency_cycles(self) -> int:

@@ -16,9 +16,8 @@ attacks of §3.2/§5.1 rely on:
 from __future__ import annotations
 
 import random
-from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.cache.cache import Cache, CacheConfig, EvictedLine
 from repro.cache.cacti import llc_latency_cycles
@@ -66,12 +65,14 @@ class HierarchyConfig:
         return llc_latency_cycles(self.llc_size_mb, self.llc_ways)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class HierarchyResult:
     """Outcome of one access through the hierarchy.
 
     ``hit_level`` is 1/2/3 for a cache hit, 0 for a main-memory access.
     ``mem`` carries the DRAM result when the access reached memory.
+    (A slotted, non-frozen dataclass: one of these is allocated per access,
+    so construction cost sits on the simulator's critical path.)
     """
 
     latency: int
@@ -178,7 +179,14 @@ class CacheHierarchy:
         # completion time.  A demand access that hits such a line before
         # the fill lands stalls for the remainder (a "late prefetch") —
         # this is how row-policy latency reaches prefetch-covered streams.
-        self._inflight_fills: "OrderedDict[int, int]" = OrderedDict()
+        # Insertion-ordered dict; trimmed FIFO via next(iter(...)).
+        self._inflight_fills: Dict[int, int] = {}
+        # Per-access constants hoisted off the critical path.
+        self._l1_latency = config.l1_latency
+        self._l2_latency = config.l2_latency
+        self._llc_latency = self.llc.config.latency_cycles
+        self._line_bytes = config.line_bytes
+        self._capacity = controller.config.geometry.capacity_bytes
         self.stats = HierarchyStats()
 
     # ------------------------------------------------------------------
@@ -191,19 +199,20 @@ class CacheHierarchy:
         """A demand load/store by ``core`` at physical address ``addr``."""
         self.stats.demand_accesses += 1
         l1, l2 = self.l1[core], self.l2[core]
-        stall = self._late_prefetch_stall(addr, issued)
-        latency = stall + l1.latency_cycles
+        stall = (self._late_prefetch_stall(addr, issued)
+                 if self._inflight_fills else 0)
+        latency = stall + self._l1_latency
         writebacks = 0
         if l1.access(addr, is_write=is_write):
             result = HierarchyResult(latency=latency, issued=issued, hit_level=1)
         else:
-            latency += l2.latency_cycles
+            latency += self._l2_latency
             if l2.access(addr):
                 writebacks += self._fill_l1(core, addr, is_write)
                 result = HierarchyResult(latency=latency, issued=issued,
                                          hit_level=2, writebacks=writebacks)
             else:
-                latency += self.llc.latency_cycles
+                latency += self._llc_latency
                 if self.llc.access(addr):
                     writebacks += self._fill_upper(core, addr, is_write)
                     result = HierarchyResult(latency=latency, issued=issued,
@@ -267,7 +276,7 @@ class CacheHierarchy:
 
     def _late_prefetch_stall(self, addr: int, issued: int) -> int:
         """Cycles a demand access waits for an in-flight prefetch fill."""
-        line = self.llc.line_addr(addr)
+        line = addr - addr % self._line_bytes
         completion = self._inflight_fills.pop(line, None)
         if completion is None:
             return 0
@@ -282,14 +291,17 @@ class CacheHierarchy:
                          time: int, requestor: str) -> None:
         if not self._l1_prefetchers:
             return
-        candidates = []
-        candidates.extend(self._l1_prefetchers[core].observe(pc, addr))
-        candidates.extend(self._l2_prefetchers[core].observe(pc, addr))
-        capacity = self.controller.config.geometry.capacity_bytes
+        candidates = self._l1_prefetchers[core].observe(pc, addr)
+        l2_candidates = self._l2_prefetchers[core].observe(pc, addr)
+        if l2_candidates:
+            candidates = candidates + l2_candidates
+        if not candidates:
+            return
+        capacity = self._capacity
         for prefetch_addr in candidates:
             if not 0 <= prefetch_addr < capacity:
                 continue
-            line_addr = self.llc.line_addr(prefetch_addr)
+            line_addr = prefetch_addr - prefetch_addr % self._line_bytes
             if self.llc.probe(line_addr):
                 continue
             # Prefetches run off the demand critical path but do touch DRAM
@@ -298,7 +310,7 @@ class CacheHierarchy:
                                          requestor=f"{requestor}-pf")
             self._inflight_fills[line_addr] = mem.finish
             while len(self._inflight_fills) > 512:
-                self._inflight_fills.popitem(last=False)
+                del self._inflight_fills[next(iter(self._inflight_fills))]
             evicted = self.llc.fill(line_addr)
             if evicted is not None:
                 self._handle_llc_eviction(evicted, time, requestor)
@@ -388,6 +400,14 @@ class CacheHierarchy:
             if candidate != base and candidate not in result:
                 result.append(candidate)
         return result
+
+    def reset_stats(self) -> None:
+        """Zero every counter — hierarchy-level, per-requestor, and each
+        cache level's — while keeping cache contents.  Used between a
+        warm-up replay and the measured replay (§5.1 methodology)."""
+        self.stats = HierarchyStats()
+        for cache in (*self.l1, *self.l2, self.llc):
+            cache.reset_stats()
 
     def rebase_time(self) -> None:
         """Forget time-stamped transient state (in-flight prefetch fills)

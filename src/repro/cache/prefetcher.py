@@ -12,8 +12,7 @@ partly from these stray activations.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 class IPStridePrefetcher:
@@ -29,7 +28,9 @@ class IPStridePrefetcher:
             raise ValueError("table_entries and degree must be >= 1")
         self.degree = degree
         self.line_bytes = line_bytes
-        self._table: "OrderedDict[int, Tuple[int, int, int]]" = OrderedDict()
+        # Insertion-ordered dict as an LRU: pop+reinsert moves to the end,
+        # trimming evicts via next(iter(...)).
+        self._table: Dict[int, Tuple[int, int, int]] = {}
         self._capacity = table_entries
 
     def observe(self, pc: Optional[int], addr: int) -> List[int]:
@@ -52,7 +53,9 @@ class IPStridePrefetcher:
             if confidence >= 1 and stride != 0:
                 prefetches = [addr + stride * (i + 1) for i in range(self.degree)]
         while len(self._table) > self._capacity:
-            self._table.popitem(last=False)
+            del self._table[next(iter(self._table))]
+        if not prefetches:
+            return prefetches
         return [p for p in prefetches if p >= 0]
 
 
@@ -71,7 +74,7 @@ class StreamerPrefetcher:
             raise ValueError("tracked_regions and degree must be >= 1")
         self.degree = degree
         self.line_bytes = line_bytes
-        self._regions: "OrderedDict[int, Tuple[int, int]]" = OrderedDict()
+        self._regions: Dict[int, Tuple[int, int]] = {}
         self._capacity = tracked_regions
 
     def observe(self, pc: Optional[int], addr: int) -> List[int]:
@@ -96,5 +99,7 @@ class StreamerPrefetcher:
                     ]
                 self._regions[region] = (line, new_direction)
         while len(self._regions) > self._capacity:
-            self._regions.popitem(last=False)
+            del self._regions[next(iter(self._regions))]
+        if not prefetches:
+            return prefetches
         return [p for p in prefetches if p >= 0]

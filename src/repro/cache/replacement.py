@@ -38,10 +38,10 @@ class ReplacementPolicy:
         raise NotImplementedError
 
     def _first_invalid(self, valid: List[bool]) -> Optional[int]:
-        for way, v in enumerate(valid):
-            if not v:
-                return way
-        return None
+        try:
+            return valid.index(False)
+        except ValueError:
+            return None
 
 
 class LRUPolicy(ReplacementPolicy):
@@ -67,7 +67,7 @@ class LRUPolicy(ReplacementPolicy):
         if invalid is not None:
             return invalid
         uses = self._last_use[set_index]
-        return min(range(self.ways), key=lambda w: uses[w])
+        return uses.index(min(uses))
 
 
 class SRRIPPolicy(ReplacementPolicy):
@@ -96,11 +96,13 @@ class SRRIPPolicy(ReplacementPolicy):
             return invalid
         rrpvs = self._rrpv[set_index]
         while True:
-            for way in range(self.ways):
-                if rrpvs[way] >= self.MAX_RRPV:
-                    return way
-            for way in range(self.ways):
-                rrpvs[way] += 1
+            # RRPVs never exceed MAX_RRPV (aging only runs when no way is
+            # at the maximum), so the >=-scan is an exact-match search.
+            try:
+                return rrpvs.index(self.MAX_RRPV)
+            except ValueError:
+                for way in range(self.ways):
+                    rrpvs[way] += 1
 
 
 class RandomPolicy(ReplacementPolicy):

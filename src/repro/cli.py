@@ -28,10 +28,7 @@ from repro.attacks import (
     ImpactPnmChannel,
     ImpactPumChannel,
     PnmOffchipChannel,
-    ReadMappingSideChannel,
     StreamlineChannel,
-    fake_schedule,
-    streamline_upper_bound_mbps,
 )
 from repro.detection import run_detection_experiment
 
@@ -71,20 +68,27 @@ def cmd_table2(args: argparse.Namespace) -> int:
 
 
 def cmd_covert(args: argparse.Namespace) -> int:
+    from repro.exp import run_sweep, sweep_points
+    from repro.exp.figures import covert_point, streamline_bound_point
+
     names = list(ATTACKS) if args.attack == "all" else [args.attack]
-    rows = []
-    for name in names:
-        config = _config(args)
-        if name == "drama-eviction" and config.mapping != "xor":
-            config = replace(config, mapping="xor")
-        channel = ATTACKS[name](System(config))
-        result = channel.transmit_random(args.bits, seed=args.seed)
-        rows.append((name, f"{result.throughput_mbps:.2f}",
-                     f"{result.error_rate:.2%}",
-                     f"{result.cycles_per_bit:.0f}"))
+    points = sweep_points("covert", covert_point, "attack", names,
+                          bits=args.bits, seed=args.seed, llc_mb=args.llc_mb,
+                          noise=args.noise, mapping=args.mapping)
     if args.attack == "all":
-        bound = streamline_upper_bound_mbps(System(_config(args)))
-        rows.append(("streamline (bound)", f"{bound:.2f}", "-", "-"))
+        points += sweep_points("covert", streamline_bound_point,
+                               "llc_mb", [args.llc_mb],
+                               noise=args.noise, mapping=args.mapping)
+    outcome = run_sweep(points, jobs=args.jobs)
+    rows = []
+    for payload in outcome:
+        error = (f"{payload['error_rate']:.2%}"
+                 if "error_rate" in payload else "-")
+        cycles = (f"{payload['cycles_per_bit']:.0f}"
+                  if "cycles_per_bit" in payload else "-")
+        rows.append((payload["attack"], f"{payload['throughput_mbps']:.2f}",
+                     error, cycles))
+    if args.attack == "all":
         rows.sort(key=lambda r: -float(r[1]))
     print(format_table(["attack", "Mb/s", "error", "cycles/bit"], rows,
                        title=f"covert channels, {args.bits} bits"))
@@ -92,43 +96,50 @@ def cmd_covert(args: argparse.Namespace) -> int:
 
 
 def cmd_sidechannel(args: argparse.Namespace) -> int:
-    config = (_config(args).with_banks(args.banks)
-              .with_noise(args.noise if args.noise else 0.0105))
-    system = System(config)
-    schedule = fake_schedule(args.banks, args.rounds, seed=args.seed)
-    result = ReadMappingSideChannel(system).run(schedule)
-    print(result.summary())
-    print(f"leaked {result.leaked_bits:.0f} bits in {result.cycles} cycles "
-          f"({result.correct}/{result.rounds} probes decoded; "
-          f"{result.false_positives} false positives)")
+    from repro.exp import run_sweep, sweep_points
+    from repro.exp.figures import sidechannel_point
+
+    points = sweep_points("sidechannel", sidechannel_point, "num_banks",
+                          list(args.banks), rounds=args.rounds,
+                          seed=args.seed, noise=args.noise)
+    outcome = run_sweep(points, jobs=args.jobs)
+    for payload in outcome:
+        print(payload["summary"])
+        print(f"leaked {payload['leaked_bits']:.0f} bits in "
+              f"{payload['cycles']} cycles "
+              f"({payload['correct']}/{payload['rounds']} probes decoded; "
+              f"{payload['false_positives']} false positives)")
     return 0
 
 
 def cmd_defenses(args: argparse.Namespace) -> int:
-    from repro.attacks import ImpactPnmChannel as Channel
-    from repro.defenses import evaluate_channel_under_defense
-    from repro.workloads import evaluate_defenses
+    from repro.exp import run_sweep, sweep_points
+    from repro.exp.figures import defense_security_point, fig11_point
 
-    rows = []
-    for defense in ("open", "mpr", "crp", "ctd"):
-        report = evaluate_channel_under_defense(lambda s: Channel(s), defense,
-                                                bits=args.bits)
-        rows.append((defense, str(report.blocked),
-                     f"{report.capacity_bits_per_symbol:.4f}",
-                     "eliminated" if report.channel_eliminated else "SURVIVES"))
+    points = sweep_points("defense-security", defense_security_point,
+                          "defense", ["open", "mpr", "crp", "ctd"],
+                          bits=args.bits)
+    outcome = run_sweep(points, jobs=args.jobs)
+    rows = [(p["defense"], str(p["blocked"]),
+             f"{p['capacity_bits_per_symbol']:.4f}",
+             "eliminated" if p["eliminated"] else "SURVIVES")
+            for p in outcome]
     print(format_table(["defense", "blocked", "capacity b/sym", "verdict"],
                        rows, title="security vs IMPACT-PnM"))
     if args.workload:
         print(f"\nmeasuring {args.workload} under each row policy "
               f"(takes a minute)...")
-        ev = evaluate_defenses(args.workload, max_refs=args.max_refs)
+        ev = fig11_point(args.workload, max_refs=args.max_refs)
+        overheads = {"open": None, "crp": ev["crp_overhead"],
+                     "ctd": ev["ctd_overhead"]}
         print(format_table(
             ["policy", "cycles", "overhead"],
-            [(p, ev.results[p].cycles,
-              f"{ev.overhead(p):+.1%}" if p != "open" else "baseline")
+            [(p, ev["policies"][p]["cycles"],
+              f"{overheads[p]:+.1%}" if overheads[p] is not None
+              else "baseline")
              for p in ("open", "crp", "ctd")],
-            title=f"{ev.workload}: measured MPKI {ev.measured_mpki:.2f} "
-                  f"(paper {ev.paper_mpki})"))
+            title=f"{ev['workload']}: measured MPKI {ev['mpki']:.2f} "
+                  f"(paper {ev['paper_mpki']})"))
     return 0
 
 
@@ -174,6 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--llc-mb", type=float, default=None)
     p.set_defaults(func=cmd_table2)
 
+    def add_jobs(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="worker processes for independent sweep points "
+                 "(default: all CPUs available to the process; 1 = serial)")
+
     p = sub.add_parser("covert", help="run a covert channel")
     p.add_argument("--attack", choices=sorted(ATTACKS) + ["all"],
                    default="impact-pnm")
@@ -183,13 +200,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--noise", type=float, default=0.0,
                    help="background activations per kilocycle")
     p.add_argument("--mapping", choices=["row", "line", "xor"], default=None)
+    add_jobs(p)
     p.set_defaults(func=cmd_covert)
 
     p = sub.add_parser("sidechannel", help="run the read-mapping side channel")
-    p.add_argument("--banks", type=int, default=1024)
+    p.add_argument("--banks", type=int, nargs="+", default=[1024],
+                   help="bank count(s); several values run as one sweep")
     p.add_argument("--rounds", type=int, default=100)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--noise", type=float, default=0.0)
+    add_jobs(p)
     p.set_defaults(func=cmd_sidechannel)
 
     p = sub.add_parser("defenses", help="evaluate the Sec 6 defenses")
@@ -197,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", choices=["BC", "BFS", "CC", "TC", "PR"],
                    default=None)
     p.add_argument("--max-refs", type=int, default=30_000)
+    add_jobs(p)
     p.set_defaults(func=cmd_defenses)
 
     p = sub.add_parser("recon", help="reverse-engineer the bank function")

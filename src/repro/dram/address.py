@@ -11,6 +11,7 @@ targeting a chosen (bank, row).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -73,11 +74,32 @@ class DRAMLocation:
     col: int
 
 
+def _shift_for(value: int) -> Optional[int]:
+    """log2(value) when ``value`` is a power of two, else None."""
+    if value > 0 and value & (value - 1) == 0:
+        return value.bit_length() - 1
+    return None
+
+
 class AddressMapping:
-    """Base class for invertible physical-address mappings."""
+    """Base class for invertible physical-address mappings.
+
+    Decode runs once per DRAM request, so every mapping precomputes its
+    geometry-derived constants here — and, when the relevant dimensions are
+    powers of two (the common case: 64-byte lines, 8 KiB rows, 2^n banks),
+    replaces the per-access divisions with mask/shift bit arithmetic.
+    """
 
     def __init__(self, geometry: DRAMGeometry) -> None:
         self.geometry = geometry
+        self._row_bytes = geometry.row_bytes
+        self._num_banks = geometry.num_banks
+        self._rows_per_bank = geometry.rows_per_bank
+        self._capacity = geometry.capacity_bytes
+        self._row_shift = _shift_for(self._row_bytes)
+        self._bank_shift = _shift_for(self._num_banks)
+        self._col_mask = self._row_bytes - 1
+        self._bank_mask = self._num_banks - 1
 
     def decode(self, addr: int) -> DRAMLocation:
         """Map a physical byte address to its DRAM location."""
@@ -97,9 +119,9 @@ class AddressMapping:
             raise ValueError(f"col {col} out of range [0, {geom.row_bytes})")
 
     def _check_addr(self, addr: int) -> None:
-        if not 0 <= addr < self.geometry.capacity_bytes:
+        if not 0 <= addr < self._capacity:
             raise ValueError(
-                f"address {addr:#x} out of range [0, {self.geometry.capacity_bytes:#x})"
+                f"address {addr:#x} out of range [0, {self._capacity:#x})"
             )
 
 
@@ -111,17 +133,21 @@ class RowInterleavedMapping(AddressMapping):
     """
 
     def decode(self, addr: int) -> DRAMLocation:
-        self._check_addr(addr)
-        geom = self.geometry
-        col = addr % geom.row_bytes
-        bank = (addr // geom.row_bytes) % geom.num_banks
-        row = addr // (geom.row_bytes * geom.num_banks)
+        if not 0 <= addr < self._capacity:
+            self._check_addr(addr)
+        if self._row_shift is not None and self._bank_shift is not None:
+            col = addr & self._col_mask
+            rest = addr >> self._row_shift
+            bank = rest & self._bank_mask
+            row = rest >> self._bank_shift
+        else:
+            rest, col = divmod(addr, self._row_bytes)
+            row, bank = divmod(rest, self._num_banks)
         return DRAMLocation(bank=bank, row=row, col=col)
 
     def encode(self, bank: int, row: int, col: int = 0) -> int:
         self._check_location(bank, row, col)
-        geom = self.geometry
-        return (row * geom.num_banks + bank) * geom.row_bytes + col
+        return (row * self._num_banks + bank) * self._row_bytes + col
 
 
 class LineInterleavedMapping(AddressMapping):
@@ -132,25 +158,26 @@ class LineInterleavedMapping(AddressMapping):
     distributed across banks.
     """
 
+    def __init__(self, geometry: DRAMGeometry) -> None:
+        super().__init__(geometry)
+        self._line_bytes = geometry.line_bytes
+        self._lines_per_row = geometry.lines_per_row
+
     def decode(self, addr: int) -> DRAMLocation:
-        self._check_addr(addr)
-        geom = self.geometry
-        offset = addr % geom.line_bytes
-        line = addr // geom.line_bytes
-        bank = line % geom.num_banks
-        index_in_bank = line // geom.num_banks
-        row = index_in_bank // geom.lines_per_row
-        col = (index_in_bank % geom.lines_per_row) * geom.line_bytes + offset
-        return DRAMLocation(bank=bank, row=row, col=col)
+        if not 0 <= addr < self._capacity:
+            self._check_addr(addr)
+        line, offset = divmod(addr, self._line_bytes)
+        index_in_bank, bank = divmod(line, self._num_banks)
+        row, line_in_row = divmod(index_in_bank, self._lines_per_row)
+        return DRAMLocation(bank=bank, row=row,
+                            col=line_in_row * self._line_bytes + offset)
 
     def encode(self, bank: int, row: int, col: int = 0) -> int:
         self._check_location(bank, row, col)
-        geom = self.geometry
-        line_in_row = col // geom.line_bytes
-        offset = col % geom.line_bytes
-        index_in_bank = row * geom.lines_per_row + line_in_row
-        line = index_in_bank * geom.num_banks + bank
-        return line * geom.line_bytes + offset
+        line_in_row, offset = divmod(col, self._line_bytes)
+        index_in_bank = row * self._lines_per_row + line_in_row
+        line = index_in_bank * self._num_banks + bank
+        return line * self._line_bytes + offset
 
 
 class XorBankMapping(AddressMapping):
@@ -168,19 +195,22 @@ class XorBankMapping(AddressMapping):
         self._mask = geometry.num_banks - 1
 
     def decode(self, addr: int) -> DRAMLocation:
-        self._check_addr(addr)
-        geom = self.geometry
-        col = addr % geom.row_bytes
-        raw_bank = (addr // geom.row_bytes) % geom.num_banks
-        row = addr // (geom.row_bytes * geom.num_banks)
+        if not 0 <= addr < self._capacity:
+            self._check_addr(addr)
+        if self._row_shift is not None:
+            col = addr & self._col_mask
+            rest = addr >> self._row_shift
+        else:
+            rest, col = divmod(addr, self._row_bytes)
+        raw_bank = rest & self._bank_mask
+        row = rest >> self._bank_shift
         bank = raw_bank ^ (row & self._mask)
         return DRAMLocation(bank=bank, row=row, col=col)
 
     def encode(self, bank: int, row: int, col: int = 0) -> int:
         self._check_location(bank, row, col)
-        geom = self.geometry
         raw_bank = bank ^ (row & self._mask)
-        return (row * geom.num_banks + raw_bank) * geom.row_bytes + col
+        return (row * self._num_banks + raw_bank) * self._row_bytes + col
 
 
 _MAPPINGS = {

@@ -29,13 +29,14 @@ class AccessKind(enum.Enum):
     CONFLICT = "conflict"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class BankAccess:
     """Result of one bank access.
 
     ``latency`` is measured from the requestor's issue time (``issued``),
     so it includes any queuing delay behind a busy bank; ``service_start``
-    is when the bank actually began the operation.
+    is when the bank actually began the operation.  (Slotted: one is
+    allocated per DRAM access, squarely on the simulation hot path.)
     """
 
     kind: AccessKind
@@ -93,9 +94,22 @@ class Bank:
     last_activation: int = 0
     stats: BankStats = field(default_factory=BankStats)
 
+    def __post_init__(self) -> None:
+        # The DRAMTimings cycle figures are properties deriving CPU cycles
+        # from nanoseconds on every read; hoist them to plain ints once —
+        # they sit on the per-access critical path.
+        t = self.timings
+        self._hit_cycles = t.hit_cycles
+        self._empty_cycles = t.empty_cycles
+        self._conflict_cycles = t.conflict_cycles
+        self._rcd_cycles = t.rcd_cycles
+        self._rp_cycles = t.rp_cycles
+        self._rowclone_fpm_cycles = t.rowclone_fpm_cycles
+        self._timeout_cycles = t.row_timeout_cycles
+
     def _effective_open_row(self, time: int) -> Optional[int]:
         """Open row as seen at ``time``, honoring the open-row timeout."""
-        timeout = self.timings.row_timeout_cycles
+        timeout = self._timeout_cycles
         if self.open_row is not None and timeout > 0:
             if time - self.last_activation > timeout:
                 return None
@@ -121,30 +135,36 @@ class Bank:
                 the CRP defense of §6); the precharge is hidden — the next
                 access sees an ``EMPTY`` bank and never pays ``tRP``.
         """
-        t = self.timings
-        service_start = max(issued, self.busy_until)
-        kind = self.classify(row, service_start)
-        if kind is AccessKind.HIT:
-            latency = t.hit_cycles
-        elif kind is AccessKind.EMPTY:
-            latency = t.empty_cycles
-            self.stats.activations += 1
+        busy = self.busy_until
+        service_start = issued if issued >= busy else busy
+        current = self.open_row
+        if (current is not None and self._timeout_cycles > 0
+                and service_start - self.last_activation > self._timeout_cycles):
+            current = None
+        stats = self.stats
+        if current == row:
+            kind = AccessKind.HIT
+            latency = self._hit_cycles
+            stats.hits += 1
+        elif current is None:
+            kind = AccessKind.EMPTY
+            latency = self._empty_cycles
+            stats.empties += 1
+            stats.activations += 1
         else:
-            latency = t.conflict_cycles
-            self.stats.activations += 1
+            kind = AccessKind.CONFLICT
+            latency = self._conflict_cycles
+            stats.conflicts += 1
+            stats.activations += 1
         finish = service_start + latency
-        if kind is not AccessKind.HIT:
-            self.last_activation = finish
-        else:
-            # A hit keeps the row "warm": the timeout clock restarts.
-            self.last_activation = finish
+        # Hit or activation alike restart the open-row timeout clock.
+        self.last_activation = finish
         if close_after:
             self.open_row = None
-            self.busy_until = finish + t.rp_cycles
+            self.busy_until = finish + self._rp_cycles
         else:
             self.open_row = row
             self.busy_until = finish
-        self.stats.record(kind)
         return BankAccess(kind=kind, issued=issued, service_start=service_start,
                           finish=finish, bank=self.index, row=row)
 
@@ -155,22 +175,31 @@ class Bank:
         the covert-channel sender, whose goal is purely to perturb the row
         buffer (§4.1 step 2).
         """
-        t = self.timings
-        service_start = max(issued, self.busy_until)
-        kind = self.classify(row, service_start)
-        if kind is AccessKind.HIT:
+        busy = self.busy_until
+        service_start = issued if issued >= busy else busy
+        current = self.open_row
+        if (current is not None and self._timeout_cycles > 0
+                and service_start - self.last_activation > self._timeout_cycles):
+            current = None
+        stats = self.stats
+        if current == row:
+            kind = AccessKind.HIT
             latency = 0
-        elif kind is AccessKind.EMPTY:
-            latency = t.rcd_cycles
-            self.stats.activations += 1
+            stats.hits += 1
+        elif current is None:
+            kind = AccessKind.EMPTY
+            latency = self._rcd_cycles
+            stats.empties += 1
+            stats.activations += 1
         else:
-            latency = t.rp_cycles + t.rcd_cycles
-            self.stats.activations += 1
+            kind = AccessKind.CONFLICT
+            latency = self._rp_cycles + self._rcd_cycles
+            stats.conflicts += 1
+            stats.activations += 1
         finish = service_start + latency
         self.open_row = row
         self.busy_until = finish
         self.last_activation = finish
-        self.stats.record(kind)
         return BankAccess(kind=kind, issued=issued, service_start=service_start,
                           finish=finish, bank=self.index, row=row)
 
@@ -186,18 +215,17 @@ class Bank:
         over the internal bus line by line — roughly 10x slower.  Leaves
         ``dst`` open either way.
         """
-        t = self.timings
         service_start = max(issued, self.busy_until)
         kind = self.classify(src_row, service_start)
         fpm_possible = (rows_per_subarray is None
                         or (src_row // rows_per_subarray
                             == dst_row // rows_per_subarray))
         if fpm_possible:
-            latency = t.rowclone_fpm_cycles
+            latency = self._rowclone_fpm_cycles
         else:
-            latency = t.rowclone_psm_cycles(lines_per_row)
+            latency = self.timings.rowclone_psm_cycles(lines_per_row)
         if kind is AccessKind.CONFLICT:
-            latency += t.rp_cycles
+            latency += self._rp_cycles
         finish = service_start + latency
         self.open_row = dst_row
         self.busy_until = finish
@@ -213,7 +241,7 @@ class Bank:
         service_start = max(issued, self.busy_until)
         if self.open_row is None:
             return service_start
-        finish = service_start + self.timings.rp_cycles
+        finish = service_start + self._rp_cycles
         self.open_row = None
         self.busy_until = finish
         return finish

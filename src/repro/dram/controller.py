@@ -66,12 +66,13 @@ class MemoryControllerConfig:
             raise ValueError("queue_cycles must be >= 0")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class MemoryResult:
     """Outcome of a controller-level memory operation.
 
     ``latency`` is from the requestor's issue time and includes queuing,
     command overhead, and (under CTD) the constant-time padding.
+    (Slotted: allocated once per DRAM request, on the hot path.)
     """
 
     kind: AccessKind
@@ -116,6 +117,11 @@ class MemoryController:
         self._partition: Dict[int, str] = {}
         self._locked_until = 0
         self.requestor_stats: Dict[str, RequestorStats] = {}
+        # Per-request constants hoisted out of the request path.
+        self._queue_cycles = self.config.queue_cycles
+        self._close_after = self.config.row_policy is RowPolicy.CLOSED
+        self._constant_time = self.config.constant_time
+        self._refresh_enabled = self.config.refresh_enabled
 
     # ------------------------------------------------------------------
     # Partitioning (MPR defense)
@@ -163,10 +169,14 @@ class MemoryController:
 
     def _begin(self, bank_index: int, issued: int, requestor: str) -> int:
         """Common entry: partition check, refresh, atomic-lock, queueing."""
-        self._check_partition(bank_index, requestor)
-        start = issued + self.config.queue_cycles
-        start = max(start, self._locked_until)
-        start = self.device.refresh_window(bank_index, start)
+        if self._partition:
+            self._check_partition(bank_index, requestor)
+        start = issued + self._queue_cycles
+        locked = self._locked_until
+        if start < locked:
+            start = locked
+        if self._refresh_enabled:
+            start = self.device.refresh_window(bank_index, start)
         return start
 
     def access(self, addr: int, issued: int, *, requestor: str = "cpu",
@@ -181,34 +191,34 @@ class MemoryController:
                         is_write: bool = False) -> MemoryResult:
         """Access a pre-decoded DRAM location (fast path for PiM engines)."""
         start = self._begin(loc.bank, issued, requestor)
-        bank = self.device.bank(loc.bank)
-        close_after = self.config.row_policy is RowPolicy.CLOSED
-        result = bank.access(loc.row, start, close_after=close_after)
+        bank = self.device.banks[loc.bank]
+        result = bank.access(loc.row, start, close_after=self._close_after)
         finish = result.finish
-        if self.config.constant_time:
+        if self._constant_time:
             finish = self._constant_time_finish(result.service_start, bank)
         stats = self._stats_for(requestor)
         if is_write:
             stats.writes += 1
         else:
             stats.reads += 1
-        if result.kind is AccessKind.HIT:
+        kind = result.kind
+        if kind is AccessKind.HIT:
             stats.hits += 1
-        elif result.kind is AccessKind.CONFLICT:
+        elif kind is AccessKind.CONFLICT:
             stats.conflicts += 1
-        return MemoryResult(kind=result.kind, issued=issued, finish=finish,
+        return MemoryResult(kind=kind, issued=issued, finish=finish,
                             location=loc)
 
     def activate(self, bank_index: int, row: int, issued: int, *,
                  requestor: str = "cpu") -> MemoryResult:
         """Row activation without column access (PiM sender primitive)."""
         start = self._begin(bank_index, issued, requestor)
-        bank = self.device.bank(bank_index)
+        bank = self.device.banks[bank_index]
         result = bank.activate(row, start)
         finish = result.finish
-        if self.config.constant_time:
+        if self._constant_time:
             finish = self._constant_time_finish(result.service_start, bank)
-        if self.config.row_policy is RowPolicy.CLOSED:
+        if self._close_after:
             # Under CRP the controller immediately precharges again.
             bank.precharge(finish)
         stats = self._stats_for(requestor)
@@ -298,6 +308,11 @@ class MemoryController:
         """Craft the physical address of (bank, row, col) — the attacker's
         memory-massaging primitive (§4.1)."""
         return self.mapper.encode(bank, row, col)
+
+    def reset_stats(self) -> None:
+        """Zero per-requestor and per-bank counters; device state is kept."""
+        self.requestor_stats.clear()
+        self.device.reset_stats()
 
     def rebase_time(self) -> None:
         """Zero the device's clocks (see :meth:`DRAMDevice.rebase_time`)."""

@@ -1,0 +1,135 @@
+"""Deterministic on-disk result cache for sweep experiments.
+
+Entries are keyed by a content hash over (experiment name, point
+parameters, code version).  The code version is itself a content hash of
+every ``repro`` source file, so editing the simulator invalidates every
+cached result while leaving re-runs of unchanged experiments instant.
+
+Payloads must be JSON-serializable — sweep point functions return plain
+dicts of floats/ints/strings, which also keeps cached artifacts diffable
+(`BENCH_*.json`-style snapshots fall out of the cache files for free).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from typing import Any, Dict, Mapping, Optional
+
+_MISSING = object()
+
+_CODE_VERSION: Optional[str] = None
+
+
+def canonical_json(value: Any) -> str:
+    """Stable serialization used for hashing parameters."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+def code_version() -> str:
+    """Content hash of the installed ``repro`` package sources.
+
+    Memoized per process; any change to any ``.py`` file under the package
+    produces a different version and therefore different cache keys.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        package_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        for root, dirs, files in sorted(os.walk(package_dir)):
+            dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+            for name in sorted(files):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(root, name)
+                digest.update(os.path.relpath(path, package_dir).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+class ResultCache:
+    """Content-addressed store of sweep-point results.
+
+    One JSON file per entry under ``directory``; the filename is the cache
+    key, so lookups are a single ``open`` and invalidation is ``rm -rf``.
+    """
+
+    def __init__(self, directory: str,
+                 version: Optional[str] = None) -> None:
+        self.directory = directory
+        self.version = version if version is not None else code_version()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+
+    def key(self, experiment: str, params: Mapping[str, Any]) -> str:
+        material = canonical_json({
+            "experiment": experiment,
+            "params": dict(params),
+            "code": self.version,
+        })
+        return hashlib.sha256(material.encode()).hexdigest()[:24]
+
+    def path_for(self, experiment: str, params: Mapping[str, Any]) -> str:
+        return os.path.join(self.directory,
+                            f"{experiment}-{self.key(experiment, params)}.json")
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+
+    def get(self, experiment: str, params: Mapping[str, Any]) -> Any:
+        """Cached payload, or :data:`MISSING` if absent/corrupt."""
+        path = self.path_for(experiment, params)
+        try:
+            with open(path) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return _MISSING
+        self.hits += 1
+        return entry.get("payload")
+
+    def put(self, experiment: str, params: Mapping[str, Any],
+            payload: Any) -> str:
+        """Persist ``payload``; returns the entry's path."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path_for(experiment, params)
+        entry: Dict[str, Any] = {
+            "experiment": experiment,
+            "params": dict(params),
+            "code_version": self.version,
+            "created": time.time(),
+            "payload": payload,
+        }
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(entry, handle, default=str)
+        os.replace(tmp, path)
+        return path
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = 0
+        if not os.path.isdir(self.directory):
+            return removed
+        for name in os.listdir(self.directory):
+            if name.endswith(".json"):
+                os.remove(os.path.join(self.directory, name))
+                removed += 1
+        return removed
+
+    @staticmethod
+    def is_missing(value: Any) -> bool:
+        return value is _MISSING
+
+
+MISSING = _MISSING

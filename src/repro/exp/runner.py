@@ -1,0 +1,141 @@
+"""Parallel sweep runner.
+
+Fans independent :class:`~repro.exp.sweep.SweepPoint`\\ s out across a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Each point constructs
+its own ``System`` inside the worker, and every stochastic component of
+the simulator is seeded from its config, so parallel results are
+bit-identical to serial execution — the runner only changes wall-clock
+time, never numbers.
+
+Degradation is graceful by design: ``jobs=1``, a single pending point, or
+an environment where worker processes cannot be spawned (sandboxes without
+semaphores, exotic interpreters) all fall back to in-process serial
+execution of the exact same point functions.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Sequence
+
+from repro.exp.cache import ResultCache
+from repro.exp.sweep import SweepPoint
+
+
+def default_jobs() -> int:
+    """Worker count used when ``jobs`` is not given: the CPUs available to
+    this process (``os.process_cpu_count()`` where it exists, Python 3.13+;
+    ``os.cpu_count()`` otherwise)."""
+    counter = getattr(os, "process_cpu_count", None) or os.cpu_count
+    return max(1, counter() or 1)
+
+
+@dataclass
+class SweepOutcome:
+    """Results of one sweep, in point order, plus execution metadata."""
+
+    results: List[Any]
+    jobs: int
+    parallel: bool
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_seconds: float = 0.0
+    fallback_reason: Optional[str] = None
+    points: Sequence[SweepPoint] = field(default_factory=tuple)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.results[index]
+
+
+def _run_point(point: SweepPoint) -> Any:
+    return point.run()
+
+
+def _run_serial(points: Sequence[SweepPoint]) -> List[Any]:
+    return [point.run() for point in points]
+
+
+def _run_parallel(points: Sequence[SweepPoint], jobs: int) -> List[Any]:
+    """Execute ``points`` on a process pool; results in point order.
+
+    Prefers the ``fork`` start method (workers inherit the parent's
+    imports and ``sys.path``, so even point functions defined in scripts
+    resolve); falls back to the platform default elsewhere.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    mp_context = (multiprocessing.get_context("fork")
+                  if "fork" in methods else None)
+    workers = min(jobs, len(points))
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=mp_context) as pool:
+        return list(pool.map(_run_point, points))
+
+
+def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
+              cache: Optional[ResultCache] = None) -> SweepOutcome:
+    """Run every point, in parallel when possible, and return a
+    :class:`SweepOutcome` whose ``results`` align with ``points``.
+
+    Args:
+        points: the sweep; order is preserved in the outcome.
+        jobs: worker processes (``None`` → :func:`default_jobs`;
+            ``1`` → serial in-process execution).
+        cache: optional result cache — cached points never reach a worker,
+            and freshly computed payloads are stored back.
+    """
+    started = time.perf_counter()
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    results: List[Any] = [None] * len(points)
+    pending: List[int] = []
+    cache_hits = 0
+    for index, point in enumerate(points):
+        if cache is not None:
+            hit = cache.get(point.experiment, point.params)
+            if not ResultCache.is_missing(hit):
+                results[index] = hit
+                cache_hits += 1
+                continue
+        pending.append(index)
+
+    parallel = False
+    fallback_reason: Optional[str] = None
+    if pending:
+        todo = [points[i] for i in pending]
+        if jobs > 1 and len(todo) > 1:
+            try:
+                fresh = _run_parallel(todo, jobs)
+                parallel = True
+            except (OSError, PermissionError, RuntimeError,
+                    ImportError) as exc:
+                # Worker processes unavailable (restricted sandbox, missing
+                # semaphores, ...): identical results, just serially.
+                fallback_reason = f"{type(exc).__name__}: {exc}"
+                fresh = _run_serial(todo)
+        else:
+            fresh = _run_serial(todo)
+        for index, payload in zip(pending, fresh):
+            results[index] = payload
+            if cache is not None:
+                cache.put(points[index].experiment, points[index].params,
+                          payload)
+
+    return SweepOutcome(
+        results=results,
+        jobs=jobs,
+        parallel=parallel,
+        cache_hits=cache_hits,
+        cache_misses=len(pending),
+        elapsed_seconds=time.perf_counter() - started,
+        fallback_reason=fallback_reason,
+        points=tuple(points),
+    )

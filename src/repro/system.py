@@ -102,6 +102,14 @@ class System:
         """A cpuid+rdtscp-style timer under this system's timer config."""
         return CycleTimer(self.config.timer)
 
+    def reset_stats(self) -> None:
+        """Zero every statistics counter in the machine — cache hierarchy,
+        memory controller, and per-bank DRAM counters — while keeping all
+        architectural state (cache contents, row buffers, TLBs).  Callers
+        measuring a warm replay reset here after the warm-up pass."""
+        self.hierarchy.reset_stats()
+        self.controller.reset_stats()
+
     @property
     def num_banks(self) -> int:
         return self.controller.num_banks

@@ -56,7 +56,7 @@ def run_multiprogrammed(system: System,
         _replay(system, streams)
         system.controller.rebase_time()
         system.hierarchy.rebase_time()
-        system.hierarchy.stats = type(system.hierarchy.stats)()
+        system.reset_stats()
     return _replay(system, streams)
 
 
@@ -69,15 +69,15 @@ def _replay(system: System,
     instructions = 0
     refs = 0
     llc_misses = 0
-    active = [bool(stream) for stream in streams]
-    while any(active):
-        core = min((c for c in range(len(streams)) if active[c]),
-                   key=lambda c: times[c])
+    access = system.hierarchy.access
+    requestors = [f"core{core}" for core in range(len(streams))]
+    active = [core for core, stream in enumerate(streams) if stream]
+    while active:
+        core = min(active, key=times.__getitem__)
         ref = streams[core][cursors[core]]
         start = times[core] + ref.compute_cycles
-        result = system.hierarchy.access(core, ref.addr, start,
-                                         is_write=ref.is_write, pc=ref.pc,
-                                         requestor=f"core{core}")
+        result = access(core, ref.addr, start, is_write=ref.is_write,
+                        pc=ref.pc, requestor=requestors[core])
         times[core] = result.finish
         instructions += 1 + ref.compute_cycles  # 1-IPC compute model
         refs += 1
@@ -85,7 +85,7 @@ def _replay(system: System,
             llc_misses += 1
         cursors[core] += 1
         if cursors[core] >= len(streams[core]):
-            active[core] = False
+            active.remove(core)
     return RunResult(cycles=max(times) if times else 0,
                      instructions=instructions, refs=refs,
                      llc_misses=llc_misses)

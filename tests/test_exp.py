@@ -1,0 +1,181 @@
+"""Tests for the parallel sweep-execution subsystem (:mod:`repro.exp`)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exp import (
+    ResultCache,
+    SweepPoint,
+    code_version,
+    default_jobs,
+    run_sweep,
+    sweep_points,
+)
+from repro.exp.figures import fig8_sweep
+
+CALLS = {"n": 0}
+
+
+def counting_point(value):
+    """Module-level (picklable) point that records how often it runs."""
+    CALLS["n"] += 1
+    return {"value": value, "double": value * 2}
+
+
+def failing_point():
+    raise RuntimeError("boom")
+
+
+# ---------------------------------------------------------------------------
+# Sweep points
+# ---------------------------------------------------------------------------
+
+class TestSweepPoint:
+    def test_builder_varies_axis_and_fixes_common(self):
+        points = sweep_points("exp", counting_point, "value", [1, 2, 3])
+        assert [p.params["value"] for p in points] == [1, 2, 3]
+        assert all(p.experiment == "exp" for p in points)
+        assert points[0].label == "exp[value=1]"
+
+    def test_run_invokes_fn_with_params(self):
+        point = SweepPoint("exp", counting_point, params={"value": 21})
+        assert point.run() == {"value": 21, "double": 42}
+
+    def test_rejects_closures_and_lambdas(self):
+        with pytest.raises(ValueError, match="module-level"):
+            SweepPoint("exp", lambda: None)
+
+        def local_fn():
+            return None
+
+        with pytest.raises(ValueError, match="module-level"):
+            SweepPoint("exp", local_fn)
+
+    def test_describe_without_label(self):
+        point = SweepPoint("exp", counting_point, params={"value": 5})
+        assert point.describe() == "exp(value=5)"
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        assert ResultCache.is_missing(cache.get("exp", {"a": 1}))
+        cache.put("exp", {"a": 1}, {"answer": 42})
+        assert cache.get("exp", {"a": 1}) == {"answer": 42}
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_params_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        cache.put("exp", {"a": 1}, {"answer": 42})
+        assert ResultCache.is_missing(cache.get("exp", {"a": 2}))
+        assert ResultCache.is_missing(cache.get("other", {"a": 1}))
+
+    def test_code_version_change_invalidates(self, tmp_path):
+        """A different code version is a different key: editing the
+        simulator must never serve stale figures."""
+        ResultCache(tmp_path, version="v1").put("exp", {"a": 1}, {"r": 1})
+        newer = ResultCache(tmp_path, version="v2")
+        assert ResultCache.is_missing(newer.get("exp", {"a": 1}))
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        cache.put("exp", {"a": 1}, {"r": 1})
+        Path(cache.path_for("exp", {"a": 1})).write_text("not json{")
+        assert ResultCache.is_missing(cache.get("exp", {"a": 1}))
+
+    def test_entries_record_provenance(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v7")
+        cache.put("exp", {"a": 1}, {"r": 1})
+        raw = json.loads(Path(cache.path_for("exp", {"a": 1})).read_text())
+        assert raw["experiment"] == "exp"
+        assert raw["code_version"] == "v7"
+        assert raw["params"] == {"a": 1}
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        cache.put("exp", {"a": 1}, {"r": 1})
+        cache.clear()
+        assert ResultCache.is_missing(cache.get("exp", {"a": 1}))
+
+    def test_default_version_is_code_hash(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.version == code_version()
+        assert len(code_version()) == 16
+        int(code_version(), 16)  # hex digest prefix
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+class TestRunSweep:
+    def test_serial_jobs_1(self):
+        points = sweep_points("exp", counting_point, "value", [1, 2, 3])
+        outcome = run_sweep(points, jobs=1)
+        assert outcome.results == [{"value": v, "double": 2 * v}
+                                   for v in (1, 2, 3)]
+        assert outcome.jobs == 1
+        assert not outcome.parallel
+
+    def test_outcome_is_sequence_like(self):
+        points = sweep_points("exp", counting_point, "value", [4, 5])
+        outcome = run_sweep(points, jobs=1)
+        assert len(outcome) == 2
+        assert outcome[1]["value"] == 5
+        assert [p["value"] for p in outcome] == [4, 5]
+
+    def test_cache_second_run_runs_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        points = sweep_points("exp", counting_point, "value", [1, 2])
+        before = CALLS["n"]
+        first = run_sweep(points, jobs=1, cache=cache)
+        assert CALLS["n"] == before + 2
+        assert first.cache_misses == 2 and first.cache_hits == 0
+        second = run_sweep(points, jobs=1, cache=cache)
+        assert CALLS["n"] == before + 2  # every point served from disk
+        assert second.cache_hits == 2 and second.cache_misses == 0
+        assert second.results == first.results
+
+    def test_cache_respects_param_changes(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        run_sweep(sweep_points("exp", counting_point, "value", [1]),
+                  jobs=1, cache=cache)
+        before = CALLS["n"]
+        outcome = run_sweep(sweep_points("exp", counting_point, "value", [9]),
+                            jobs=1, cache=cache)
+        assert CALLS["n"] == before + 1
+        assert outcome.cache_misses == 1
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+    def test_failing_point_propagates_serially(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            run_sweep([SweepPoint("exp", failing_point)], jobs=1)
+
+
+class TestParallelEqualsSerial:
+    """The acceptance criterion: fanning a sweep out across processes
+    changes wall-clock time only, never the numbers."""
+
+    def test_fig8_slice_parallel_equals_serial(self):
+        points = fig8_sweep((8, 16))
+        serial = run_sweep(points, jobs=1)
+        parallel = run_sweep(points, jobs=2)
+        # Bit-identical floats, not approximate equality.
+        assert parallel.results == serial.results
+        # Either real worker processes ran, or the environment forced the
+        # (result-identical) serial fallback and said why.
+        assert parallel.parallel or parallel.fallback_reason
+
+    def test_parallel_results_preserve_point_order(self):
+        points = sweep_points("exp", counting_point, "value",
+                              [7, 3, 5, 1])
+        outcome = run_sweep(points, jobs=4)
+        assert [p["value"] for p in outcome] == [7, 3, 5, 1]
