@@ -2,9 +2,10 @@
 """Quick benchmark snapshot: figure sweeps + simulator ops/sec.
 
 Runs a reduced slice of every figure sweep through :mod:`repro.exp`
-(parallel + cached exactly like the benches), times a raw simulator
-hot-path microbenchmark, and writes the whole record to ``BENCH_PR1.json``
-at the repo root.  Intended for ``make bench-quick``::
+(parallel + cached exactly like the benches), times raw simulator,
+scheduler, and warm-up/snapshot microbenchmarks, and writes the whole
+record to ``BENCH_PR2.json`` at the repo root.  Intended for
+``make bench-quick``::
 
     PYTHONPATH=src python scripts/bench_snapshot.py [--jobs N] [--no-cache]
 
@@ -35,7 +36,7 @@ from repro.exp.figures import (  # noqa: E402
 )
 
 CACHE_DIR = os.path.join(REPO_ROOT, "benchmarks", "results", ".cache")
-OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR1.json")
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR2.json")
 
 # Reduced axes: one quick pass over every figure, a couple of minutes
 # serial and cold, seconds warm or parallel.
@@ -68,6 +69,64 @@ def simulator_ops_per_sec() -> dict:
         "accesses": n,
         "seconds": round(elapsed, 3),
         "ops_per_sec": round(n / elapsed),
+    }
+
+
+def scheduler_checkpoints_per_sec() -> dict:
+    """Scheduler micro-bench: checkpoint-dense threads, fast path vs the
+    heap-only slow path (``fast_path=False``)."""
+    from repro.sim import Scheduler
+
+    def body(ctx, steps):
+        for _ in range(steps):
+            ctx.advance(3)
+            yield None
+
+    steps = 50_000
+    threads = 4
+    record = {}
+    for label, fast in (("fast_path", True), ("slow_path", False)):
+        sched = Scheduler(fast_path=fast)
+        for t in range(threads):
+            # Staggered starts keep one thread globally minimal for long
+            # stretches — the run-to-block pattern the attacks exhibit.
+            sched.spawn(body, steps, name=f"t{t}", start_time=t * steps)
+        started = time.perf_counter()
+        sched.run()
+        elapsed = time.perf_counter() - started
+        record[label] = {
+            "checkpoints": steps * threads,
+            "seconds": round(elapsed, 3),
+            "checkpoints_per_sec": round(steps * threads / elapsed),
+            "fast_resumes": sched.fast_resumes,
+        }
+    return record
+
+
+def snapshot_restore_speedup() -> dict:
+    """Warm-up replay vs snapshot restore for one Fig. 11 workload."""
+    from repro.system import System
+    from repro.workloads.kernels import workload_spec
+    from repro.workloads.runner import _warm, fig11_config
+
+    spec = workload_spec("PR")
+    stream = spec.refs(graph=spec.build_graph(), max_refs=20_000)
+    config = fig11_config()
+
+    system = System(config)
+    started = time.perf_counter()
+    _warm(system, [stream, stream])
+    warm_seconds = time.perf_counter() - started
+    snap = system.snapshot()
+
+    fresh = System(config)
+    started = time.perf_counter()
+    fresh.restore(snap)
+    restore_seconds = time.perf_counter() - started
+    return {
+        "warmup_seconds": round(warm_seconds, 4),
+        "restore_seconds": round(restore_seconds, 4),
+        "speedup": round(warm_seconds / max(restore_seconds, 1e-9), 1),
     }
 
 
@@ -110,6 +169,17 @@ def main(argv=None) -> int:
     print("timing simulator hot path...")
     record["simulator"] = simulator_ops_per_sec()
     print(f"simulator: {record['simulator']['ops_per_sec']:,} accesses/sec")
+
+    print("timing scheduler checkpoints...")
+    record["scheduler"] = scheduler_checkpoints_per_sec()
+    fast = record["scheduler"]["fast_path"]["checkpoints_per_sec"]
+    slow = record["scheduler"]["slow_path"]["checkpoints_per_sec"]
+    print(f"scheduler: {fast:,}/sec fast path vs {slow:,}/sec slow path")
+
+    print("timing warm-up vs snapshot restore...")
+    record["snapshot"] = snapshot_restore_speedup()
+    print(f"snapshot restore: {record['snapshot']['speedup']}x faster "
+          f"than re-warming")
 
     record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     with open(args.output, "w") as handle:

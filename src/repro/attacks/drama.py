@@ -108,6 +108,10 @@ class DramaClflushChannel(CovertChannel):
                 yield sent_sem.acquire()
                 sys_.noise.run(window["noise_mark"], ctx.now)
                 window["noise_mark"] = ctx.now
+                # No scheduler checkpoint inside the probe loop: the sender
+                # is blocked on probed_sem for the whole bit, so there is
+                # nothing to interleave with (the batching-safety rule;
+                # see EXPERIMENTS.md).
                 worst = 0
                 for probe in range(self.probes_per_bit):
                     timer.start(ctx)
@@ -116,7 +120,6 @@ class DramaClflushChannel(CovertChannel):
                     latency = timer.stop(ctx)
                     worst = max(worst, latency)
                     self._receiver_bypass(ctx, sys_)
-                    yield None
                 probe_latencies.append(worst)
                 received.append(self.decode(worst))
                 ctx.advance(DECODE_CYCLES + LOOP_OVERHEAD_CYCLES + SEM_OP_CYCLES)
@@ -190,8 +193,10 @@ class DramaEvictionChannel(DramaClflushChannel):
 
     def _walk(self, ctx: Context, sys_: System, eviction_set: List[int],
               core: int, requestor: str) -> None:
-        for ev_addr in eviction_set:
-            sys_.load(ctx, core=core, addr=ev_addr, requestor=requestor)
+        # Batched: the peer thread is blocked on the channel's semaphores
+        # whenever a walk runs, so eliding per-load checkpoints is safe.
+        sys_.load_many(ctx, core=core, addrs=eviction_set,
+                       requestor=requestor)
 
     def _sender_bypass(self, ctx: Context, sys_: System) -> None:
         self._walk(ctx, sys_, self._sender_set, core=0, requestor="sender")

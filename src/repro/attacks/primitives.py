@@ -94,9 +94,8 @@ def measure_eviction_probe(system: System, addr: int) -> int:
         sys_.load(ctx, core=0, addr=addr)
         eviction_set = sys_.hierarchy.build_eviction_set(addr)
         start = ctx.now
-        for ev_addr in eviction_set:
-            sys_.load(ctx, core=0, addr=ev_addr)
-            yield None
+        # Single-threaded scheduler: the batched walk is trivially safe.
+        sys_.load_many(ctx, core=0, addrs=eviction_set)
         sys_.load(ctx, core=0, addr=addr)
         yield None
         return ctx.now - start

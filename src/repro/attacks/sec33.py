@@ -125,8 +125,7 @@ class BaselineEvictionAttack(CovertChannel):
     def _evict(self, ctx: Context, sys_: System, addr: int,
                eviction_set: List[int]) -> None:
         start = ctx.now
-        for ev_addr in eviction_set:
-            sys_.load(ctx, core=0, addr=ev_addr, requestor="attacker")
+        sys_.load_many(ctx, core=0, addrs=eviction_set, requestor="attacker")
         self.eviction_latencies.append(ctx.now - start)
 
     def transmit(self, bits: Sequence[int]) -> ChannelResult:

@@ -5,7 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.cache.replacement import ReplacementPolicy, make_replacement_policy
+from repro.cache.replacement import (
+    ReplacementPolicy,
+    SRRIPPolicy,
+    make_replacement_policy,
+)
 
 
 @dataclass(frozen=True)
@@ -46,15 +50,20 @@ class CacheConfig:
         return self.size_bytes // (self.line_bytes * self.ways)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class EvictedLine:
-    """A line pushed out of a cache by a fill."""
+    """A line pushed out of a cache by a fill.
+
+    (Slotted, unfrozen: one is allocated per eviction, which in steady
+    state means nearly every fill — frozen-dataclass ``__setattr__``
+    indirection measurably slows the simulator's hottest loop.)
+    """
 
     addr: int  # line-aligned byte address
     dirty: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     hits: int = 0
     misses: int = 0
@@ -76,9 +85,12 @@ class CacheStats:
 class Cache:
     """One cache level; addresses are physical byte addresses.
 
-    Per-set tag arrays use ``-1`` for invalid ways (physical line numbers
-    are non-negative), so lookups reduce to a C-speed ``list.index`` over
-    the set's tags with no per-way Python loop.
+    Each set keeps two views of its contents: a way-indexed tag array
+    (``-1`` for invalid ways; physical line numbers are non-negative) for
+    victim bookkeeping, and a ``{line: way}`` dict for lookups.  The dict
+    makes hits *and* misses a single O(1) probe — the miss path previously
+    paid a full ``list.index`` scan plus a raised ``ValueError``, squarely
+    on the simulator's hottest path.
     """
 
     def __init__(self, config: CacheConfig) -> None:
@@ -91,8 +103,25 @@ class Cache:
         self._tags: List[List[int]] = [[-1] * ways for _ in range(sets)]
         self._valid: List[List[bool]] = [[False] * ways for _ in range(sets)]
         self._dirty: List[List[bool]] = [[False] * ways for _ in range(sets)]
+        self._where: List[dict] = [{} for _ in range(sets)]
         self._policy: ReplacementPolicy = make_replacement_policy(
             config.replacement, sets, ways)
+        self._policy_on_hit = self._policy.on_hit
+        self._policy_on_fill = self._policy.on_fill
+        self._policy_victim = self._policy.victim
+        # SRRIP (L2/LLC in the Table 2 config) carries the bulk of fill
+        # traffic; alias its RRPV array so access/fill can update it inline
+        # instead of paying two policy calls per fill.  The alias shares
+        # the *row lists* with the policy object — anything restoring
+        # policy state must mutate those lists in place.
+        if isinstance(self._policy, SRRIPPolicy):
+            self._rrpv: Optional[List[List[int]]] = self._policy._rrpv
+            self._max_rrpv = self._policy.MAX_RRPV
+            self._insert_rrpv = self._policy.MAX_RRPV - 1
+        else:
+            self._rrpv = None
+            self._max_rrpv = 0
+            self._insert_rrpv = 0
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -114,27 +143,27 @@ class Cache:
 
     def _find(self, addr: int) -> Optional[int]:
         line = addr // self._line_bytes
-        try:
-            return self._tags[line % self._num_sets].index(line)
-        except ValueError:
-            return None
+        return self._where[line % self._num_sets].get(line)
 
     def probe(self, addr: int) -> bool:
         """Presence check with no replacement-state side effects."""
         line = addr // self._line_bytes
-        return line in self._tags[line % self._num_sets]
+        return line in self._where[line % self._num_sets]
 
     def access(self, addr: int, is_write: bool = False) -> bool:
         """Look up ``addr``; returns True on hit (updates replacement and
         dirty state). A miss does NOT allocate — call :meth:`fill`."""
         line = addr // self._line_bytes
         set_index = line % self._num_sets
-        try:
-            way = self._tags[set_index].index(line)
-        except ValueError:
+        way = self._where[set_index].get(line)
+        if way is None:
             self.stats.misses += 1
             return False
-        self._policy.on_hit(set_index, way)
+        rrpv = self._rrpv
+        if rrpv is not None:
+            rrpv[set_index][way] = 0
+        else:
+            self._policy_on_hit(set_index, way)
         if is_write:
             self._dirty[set_index][way] = True
         self.stats.hits += 1
@@ -148,32 +177,54 @@ class Cache:
         """
         line = addr // self._line_bytes
         set_index = line % self._num_sets
-        tags = self._tags[set_index]
-        try:
-            existing = tags.index(line)
-        except ValueError:
-            existing = -1
-        if existing >= 0:
-            self._policy.on_hit(set_index, existing)
+        where = self._where[set_index]
+        existing = where.get(line)
+        rrpv_all = self._rrpv
+        if existing is not None:
+            if rrpv_all is not None:
+                rrpv_all[set_index][existing] = 0
+            else:
+                self._policy_on_hit(set_index, existing)
             if dirty:
                 self._dirty[set_index][existing] = True
             return None
         valid = self._valid[set_index]
-        way = self._policy.victim(set_index, valid)
+        if rrpv_all is not None:
+            # Inlined SRRIPPolicy.victim/on_fill (provably identical):
+            # invalid way first, else first way at MAX_RRPV after one-shot
+            # aging; insert the new line at MAX_RRPV - 1.
+            if False in valid:
+                way = valid.index(False)
+            else:
+                rrpvs = rrpv_all[set_index]
+                max_rrpv = self._max_rrpv
+                if max_rrpv not in rrpvs:
+                    step = max_rrpv - max(rrpvs)
+                    rrpvs[:] = [r + step for r in rrpvs]
+                way = rrpvs.index(max_rrpv)
+        else:
+            way = self._policy_victim(set_index, valid)
+        tags = self._tags[set_index]
+        dirty_bits = self._dirty[set_index]
+        stats = self.stats
         evicted: Optional[EvictedLine] = None
         if valid[way]:
-            evicted = EvictedLine(
-                addr=tags[way] * self._line_bytes,
-                dirty=self._dirty[set_index][way],
-            )
-            self.stats.evictions += 1
-            if evicted.dirty:
-                self.stats.writebacks += 1
+            old_line = tags[way]
+            del where[old_line]
+            old_dirty = dirty_bits[way]
+            evicted = EvictedLine(old_line * self._line_bytes, old_dirty)
+            stats.evictions += 1
+            if old_dirty:
+                stats.writebacks += 1
         tags[way] = line
+        where[line] = way
         valid[way] = True
-        self._dirty[set_index][way] = dirty
-        self._policy.on_fill(set_index, way)
-        self.stats.fills += 1
+        dirty_bits[way] = dirty
+        if rrpv_all is not None:
+            rrpv_all[set_index][way] = self._insert_rrpv
+        else:
+            self._policy_on_fill(set_index, way)
+        stats.fills += 1
         return evicted
 
     def invalidate(self, addr: int) -> Optional[bool]:
@@ -182,15 +233,13 @@ class Cache:
         back-invalidation from an inclusive LLC."""
         line = addr // self._line_bytes
         set_index = line % self._num_sets
-        tags = self._tags[set_index]
-        try:
-            way = tags.index(line)
-        except ValueError:
+        way = self._where[set_index].pop(line, None)
+        if way is None:
             return None
         dirty = self._dirty[set_index][way]
         self._valid[set_index][way] = False
         self._dirty[set_index][way] = False
-        tags[way] = -1
+        self._tags[set_index][way] = -1
         self.stats.invalidations += 1
         return dirty
 
@@ -205,6 +254,33 @@ class Cache:
     def reset_stats(self) -> None:
         """Zero the counters; cache contents are kept."""
         self.stats = CacheStats()
+
+    def snapshot_state(self) -> dict:
+        """Full copied state: contents, replacement metadata, counters."""
+        s = self.stats
+        return {
+            "tags": [list(row) for row in self._tags],
+            "valid": [list(row) for row in self._valid],
+            "dirty": [list(row) for row in self._dirty],
+            "where": [dict(d) for d in self._where],
+            "policy": self._policy.snapshot_state(),
+            "stats": (s.hits, s.misses, s.fills, s.evictions,
+                      s.writebacks, s.invalidations),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`snapshot_state` output (copies on the way in)."""
+        for dst, src in zip(self._tags, state["tags"]):
+            dst[:] = src
+        for dst, src in zip(self._valid, state["valid"]):
+            dst[:] = src
+        for dst, src in zip(self._dirty, state["dirty"]):
+            dst[:] = src
+        for dst_map, src_map in zip(self._where, state["where"]):
+            dst_map.clear()
+            dst_map.update(src_map)
+        self._policy.restore_state(state["policy"])
+        self.stats = CacheStats(*state["stats"])
 
     @property
     def latency_cycles(self) -> int:

@@ -87,7 +87,7 @@ class HierarchyResult:
         return self.issued + self.latency
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestorCacheStats:
     """Per-requestor cache-event counters (what a hardware performance
     monitoring unit exposes — the §3 detection mechanisms' only input)."""
@@ -128,10 +128,14 @@ class HierarchyStats:
 
     def observe(self, requestor: str, time: int, *, miss: bool = False,
                 clflush: bool = False, nt: bool = False) -> None:
-        stats = self.requestor(requestor)
+        stats = self.by_requestor.get(requestor)
+        if stats is None:
+            stats = RequestorCacheStats()
+            self.by_requestor[requestor] = stats
         if stats.accesses == 0 and stats.clflushes == 0:
             stats.first_seen_cycle = time
-        stats.last_seen_cycle = max(stats.last_seen_cycle, time)
+        if time > stats.last_seen_cycle:
+            stats.last_seen_cycle = time
         if clflush:
             stats.clflushes += 1
         else:
@@ -174,7 +178,21 @@ class CacheHierarchy:
         else:
             self._l1_prefetchers = []
             self._l2_prefetchers = []
+        # Hot-path call tables: bound observe methods per core, and bound
+        # invalidate methods over every upper-level cache (the inclusive
+        # back-invalidation loop touches all of them per LLC eviction).
+        self._pf_observe = [
+            (l1pf.observe, l2pf.observe)
+            for l1pf, l2pf in zip(self._l1_prefetchers, self._l2_prefetchers)
+        ]
+        self._upper_invalidates = [
+            cache.invalidate for caches in (self.l1, self.l2)
+            for cache in caches
+        ]
         self._nt_rng = random.Random(config.nt_seed)
+        # Prefetch requestor labels ("cpu" -> "cpu-pf"), cached so the
+        # prefetch loop does not rebuild the f-string on every candidate.
+        self._pf_names: Dict[str, str] = {}
         # Lines being filled by in-flight prefetches: line addr -> DRAM
         # completion time.  A demand access that hits such a line before
         # the fill lands stalls for the remainder (a "late prefetch") —
@@ -232,6 +250,68 @@ class CacheHierarchy:
         self._run_prefetchers(core, addr, pc, issued + result.latency, requestor)
         return result
 
+    def access_batch(self, core: int, addrs, issued: int, *,
+                     is_write: bool = False, pc: Optional[int] = None,
+                     requestor: str = "cpu") -> int:
+        """Sequential demand accesses, each issued at the previous finish.
+
+        Equivalent to chaining :meth:`access` calls through
+        ``result.finish`` (the equivalence is covered by tests), with the
+        per-access attribute lookups and :class:`HierarchyResult`
+        construction hoisted out of the loop.  Returns the finish time of
+        the last access.
+
+        Only safe when no other thread touches the memory system between
+        the batched accesses — batching removes the scheduler checkpoints
+        a hand-written probe loop would yield at, so any cross-thread
+        interleaving inside the batch would be lost (see EXPERIMENTS.md).
+        """
+        stats = self.stats
+        observe = stats.observe
+        l1_access = self.l1[core].access
+        l2_access = self.l2[core].access
+        llc_access = self.llc.access
+        controller_access = self.controller.access
+        run_prefetchers = self._run_prefetchers
+        late_stall = self._late_prefetch_stall
+        fill_l1 = self._fill_l1
+        fill_upper = self._fill_upper
+        fill_all = self._fill_all
+        inflight = self._inflight_fills
+        l1_latency = self._l1_latency
+        l2_latency = self._l2_latency
+        llc_latency = self._llc_latency
+        now = issued
+        for addr in addrs:
+            stats.demand_accesses += 1
+            latency = ((late_stall(addr, now) if inflight else 0)
+                       + l1_latency)
+            miss = False
+            if l1_access(addr, is_write=is_write):
+                pass
+            else:
+                latency += l2_latency
+                if l2_access(addr):
+                    fill_l1(core, addr, is_write)
+                else:
+                    latency += llc_latency
+                    if llc_access(addr):
+                        fill_upper(core, addr, is_write)
+                    else:
+                        mem = controller_access(addr, now + latency,
+                                                requestor=requestor,
+                                                is_write=is_write)
+                        finish = mem.finish
+                        latency = finish - now
+                        fill_all(core, addr, is_write, time=finish,
+                                 requestor=requestor)
+                        miss = True
+            observe(requestor, now, miss=miss)
+            finish = now + latency
+            run_prefetchers(core, addr, pc, finish, requestor)
+            now = finish
+        return now
+
     def _fill_l1(self, core: int, addr: int, is_write: bool) -> int:
         evicted = self.l1[core].fill(addr, dirty=is_write)
         if evicted is not None and evicted.dirty:
@@ -250,11 +330,22 @@ class CacheHierarchy:
 
     def _fill_all(self, core: int, addr: int, is_write: bool, *, time: int,
                   requestor: str) -> int:
+        # _fill_upper/_fill_l1 inlined: this runs on every memory access
+        # (the simulator's hottest fill sequence, three levels deep).
         writebacks = 0
-        evicted = self.llc.fill(addr)
+        llc_fill = self.llc.fill
+        evicted = llc_fill(addr)
         if evicted is not None:
             writebacks += self._handle_llc_eviction(evicted, time, requestor)
-        writebacks += self._fill_upper(core, addr, is_write)
+        l2_fill = self.l2[core].fill
+        evicted = l2_fill(addr)
+        if evicted is not None and evicted.dirty:
+            llc_fill(evicted.addr, dirty=True)
+            writebacks += 1
+        evicted = self.l1[core].fill(addr, dirty=is_write)
+        if evicted is not None and evicted.dirty:
+            l2_fill(evicted.addr, dirty=True)
+            writebacks += 1
         return writebacks
 
     def _handle_llc_eviction(self, evicted: EvictedLine, time: int,
@@ -262,14 +353,15 @@ class CacheHierarchy:
         """Inclusive LLC: back-invalidate every upper level; write back
         dirty data to DRAM off the critical path."""
         dirty = evicted.dirty
-        for core_caches in (self.l1, self.l2):
-            for cache in core_caches:
-                upper_dirty = cache.invalidate(evicted.addr)
-                if upper_dirty:
-                    dirty = True
+        addr = evicted.addr
+        for invalidate in self._upper_invalidates:
+            if invalidate(addr):
+                dirty = True
         if dirty:
-            self.controller.access(evicted.addr, time, requestor=requestor,
-                                   is_write=True)
+            # Finish-only path: write-backs are fire-and-forget, nobody
+            # consumes the MemoryResult.
+            self.controller.access_finish(evicted.addr, time,
+                                          requestor=requestor, is_write=True)
             self.stats.memory_writebacks += 1
             return 1
         return 0
@@ -289,33 +381,44 @@ class CacheHierarchy:
 
     def _run_prefetchers(self, core: int, addr: int, pc: Optional[int],
                          time: int, requestor: str) -> None:
-        if not self._l1_prefetchers:
+        if not self._pf_observe:
             return
-        candidates = self._l1_prefetchers[core].observe(pc, addr)
-        l2_candidates = self._l2_prefetchers[core].observe(pc, addr)
+        l1_observe, l2_observe = self._pf_observe[core]
+        candidates = l1_observe(pc, addr)
+        l2_candidates = l2_observe(pc, addr)
         if l2_candidates:
             candidates = candidates + l2_candidates
         if not candidates:
             return
         capacity = self._capacity
+        pf_name = self._pf_names.get(requestor)
+        if pf_name is None:
+            pf_name = f"{requestor}-pf"
+            self._pf_names[requestor] = pf_name
+        line_bytes = self._line_bytes
+        llc_probe = self.llc.probe
+        llc_fill = self.llc.fill
+        l2_fill = self.l2[core].fill
+        access_finish = self.controller.access_finish
+        inflight = self._inflight_fills
+        stats = self.stats
         for prefetch_addr in candidates:
             if not 0 <= prefetch_addr < capacity:
                 continue
-            line_addr = prefetch_addr - prefetch_addr % self._line_bytes
-            if self.llc.probe(line_addr):
+            line_addr = prefetch_addr - prefetch_addr % line_bytes
+            if llc_probe(line_addr):
                 continue
             # Prefetches run off the demand critical path but do touch DRAM
             # (and thus perturb row buffers — the noise the attacks battle).
-            mem = self.controller.access(line_addr, time,
-                                         requestor=f"{requestor}-pf")
-            self._inflight_fills[line_addr] = mem.finish
-            while len(self._inflight_fills) > 512:
-                del self._inflight_fills[next(iter(self._inflight_fills))]
-            evicted = self.llc.fill(line_addr)
+            inflight[line_addr] = access_finish(line_addr, time,
+                                                requestor=pf_name)
+            while len(inflight) > 512:
+                del inflight[next(iter(inflight))]
+            evicted = llc_fill(line_addr)
             if evicted is not None:
                 self._handle_llc_eviction(evicted, time, requestor)
-            self.l2[core].fill(line_addr)
-            self.stats.prefetches_issued += 1
+            l2_fill(line_addr)
+            stats.prefetches_issued += 1
 
     # ------------------------------------------------------------------
     # Cache management operations (attack primitives)
@@ -376,6 +479,16 @@ class CacheHierarchy:
     # Introspection
     # ------------------------------------------------------------------
 
+    def is_cached(self, addr: int) -> bool:
+        """Is ``addr``'s line resident anywhere on-chip?  Side-effect-free.
+
+        The LLC is inclusive of every L1/L2, so one LLC probe answers for
+        the whole hierarchy.  This is the ground truth an off-chip
+        predictor trains against (Hermes [116]): data residency, not the
+        path an operation happened to take.
+        """
+        return self.llc.probe(addr)
+
     def llc_set_stride(self) -> int:
         """Byte stride between addresses that map to the same LLC set."""
         return self.llc.config.num_sets * self.config.line_bytes
@@ -400,6 +513,48 @@ class CacheHierarchy:
             if candidate != base and candidate not in result:
                 result.append(candidate)
         return result
+
+    def snapshot_state(self) -> dict:
+        """Copied state of every cache level, prefetcher table, in-flight
+        fill, RNG, and counter (for warm-state snapshots)."""
+        stats = self.stats
+        return {
+            "l1": [cache.snapshot_state() for cache in self.l1],
+            "l2": [cache.snapshot_state() for cache in self.l2],
+            "llc": self.llc.snapshot_state(),
+            "l1_pf": [pf.snapshot_state() for pf in self._l1_prefetchers],
+            "l2_pf": [pf.snapshot_state() for pf in self._l2_prefetchers],
+            "nt_rng": self._nt_rng.getstate(),
+            "inflight_fills": dict(self._inflight_fills),
+            "stats": (stats.demand_accesses, stats.prefetches_issued,
+                      stats.clflushes, stats.nt_accesses, stats.nt_bypasses,
+                      stats.memory_writebacks, stats.late_prefetch_stalls),
+            "by_requestor": {
+                name: (s.accesses, s.llc_misses, s.clflushes, s.nt_accesses,
+                       s.first_seen_cycle, s.last_seen_cycle)
+                for name, s in stats.by_requestor.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for cache, cache_state in zip(self.l1, state["l1"]):
+            cache.restore_state(cache_state)
+        for cache, cache_state in zip(self.l2, state["l2"]):
+            cache.restore_state(cache_state)
+        self.llc.restore_state(state["llc"])
+        for pf, pf_state in zip(self._l1_prefetchers, state["l1_pf"]):
+            pf.restore_state(pf_state)
+        for pf, pf_state in zip(self._l2_prefetchers, state["l2_pf"]):
+            pf.restore_state(pf_state)
+        self._nt_rng.setstate(state["nt_rng"])
+        self._inflight_fills.clear()
+        self._inflight_fills.update(state["inflight_fills"])
+        stats = HierarchyStats(*state["stats"])
+        stats.by_requestor = {
+            name: RequestorCacheStats(*vals)
+            for name, vals in state["by_requestor"].items()
+        }
+        self.stats = stats
 
     def reset_stats(self) -> None:
         """Zero every counter — hierarchy-level, per-requestor, and each

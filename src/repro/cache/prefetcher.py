@@ -33,14 +33,26 @@ class IPStridePrefetcher:
         self._table: Dict[int, Tuple[int, int, int]] = {}
         self._capacity = table_entries
 
+    def snapshot_state(self) -> Dict[int, Tuple[int, int, int]]:
+        return dict(self._table)
+
+    def restore_state(self, state: Dict[int, Tuple[int, int, int]]) -> None:
+        self._table.clear()
+        self._table.update(state)
+
     def observe(self, pc: Optional[int], addr: int) -> List[int]:
         """Record a demand access; return addresses to prefetch."""
         if pc is None:
             return []
-        entry = self._table.pop(pc, None)
+        table = self._table
+        entry = table.pop(pc, None)
         prefetches: List[int] = []
         if entry is None:
-            self._table[pc] = (addr, 0, 0)
+            table[pc] = (addr, 0, 0)
+            # Only a brand-new entry can grow the table; pop+reinsert of an
+            # existing PC leaves the size unchanged, so trim only here.
+            while len(table) > self._capacity:
+                del table[next(iter(table))]
         else:
             last_addr, last_stride, confidence = entry
             stride = addr - last_addr
@@ -48,15 +60,15 @@ class IPStridePrefetcher:
                 confidence = min(confidence + 1, 3)
             elif stride != 0:
                 confidence = 0
-            self._table[pc] = (addr, stride if stride != 0 else last_stride,
-                               confidence)
+            table[pc] = (addr, stride if stride != 0 else last_stride,
+                         confidence)
             if confidence >= 1 and stride != 0:
                 prefetches = [addr + stride * (i + 1) for i in range(self.degree)]
-        while len(self._table) > self._capacity:
-            del self._table[next(iter(self._table))]
-        if not prefetches:
-            return prefetches
-        return [p for p in prefetches if p >= 0]
+                # Constant stride makes the list monotone: a negative tail
+                # is the only way a negative address can appear.
+                if prefetches[-1] < 0:
+                    prefetches = [p for p in prefetches if p >= 0]
+        return prefetches
 
 
 class StreamerPrefetcher:
@@ -77,19 +89,30 @@ class StreamerPrefetcher:
         self._regions: Dict[int, Tuple[int, int]] = {}
         self._capacity = tracked_regions
 
+    def snapshot_state(self) -> Dict[int, Tuple[int, int]]:
+        return dict(self._regions)
+
+    def restore_state(self, state: Dict[int, Tuple[int, int]]) -> None:
+        self._regions.clear()
+        self._regions.update(state)
+
     def observe(self, pc: Optional[int], addr: int) -> List[int]:
         """Record a demand access; return addresses to prefetch."""
+        regions = self._regions
         region = addr // self.REGION_BYTES
         line = addr // self.line_bytes
-        entry = self._regions.pop(region, None)
+        entry = regions.pop(region, None)
         prefetches: List[int] = []
         if entry is None:
-            self._regions[region] = (line, 0)
+            regions[region] = (line, 0)
+            # Size only grows on a brand-new region (see IP-stride note).
+            while len(regions) > self._capacity:
+                del regions[next(iter(regions))]
         else:
             last_line, direction = entry
             step = line - last_line
             if step == 0:
-                self._regions[region] = (line, direction)
+                regions[region] = (line, direction)
             else:
                 new_direction = 1 if step > 0 else -1
                 if direction == new_direction:
@@ -97,9 +120,9 @@ class StreamerPrefetcher:
                         (line + new_direction * (i + 1)) * self.line_bytes
                         for i in range(self.degree)
                     ]
-                self._regions[region] = (line, new_direction)
-        while len(self._regions) > self._capacity:
-            del self._regions[next(iter(self._regions))]
-        if not prefetches:
-            return prefetches
-        return [p for p in prefetches if p >= 0]
+                    # Monotone by construction; only a negative tail can
+                    # introduce out-of-range (negative) addresses.
+                    if prefetches[-1] < 0:
+                        prefetches = [p for p in prefetches if p >= 0]
+                regions[region] = (line, new_direction)
+        return prefetches

@@ -37,11 +37,21 @@ class ReplacementPolicy:
         """Choose the way to evict (an invalid way is preferred)."""
         raise NotImplementedError
 
+    def snapshot_state(self):
+        """Copied replacement metadata for warm-state snapshots."""
+        return None
+
+    def restore_state(self, state) -> None:
+        """Restore :meth:`snapshot_state` output.  Implementations must
+        mutate existing per-set lists in place — callers may alias them
+        (see :mod:`repro.sim.snapshot`)."""
+
     def _first_invalid(self, valid: List[bool]) -> Optional[int]:
-        try:
+        # Membership test first: a full set (the steady state) costs one
+        # C-speed scan instead of a raised-and-caught ValueError.
+        if False in valid:
             return valid.index(False)
-        except ValueError:
-            return None
+        return None
 
 
 class LRUPolicy(ReplacementPolicy):
@@ -52,15 +62,12 @@ class LRUPolicy(ReplacementPolicy):
         self._stamp = 0
         self._last_use = [[0] * ways for _ in range(num_sets)]
 
-    def _touch(self, set_index: int, way: int) -> None:
-        self._stamp += 1
-        self._last_use[set_index][way] = self._stamp
-
     def on_hit(self, set_index: int, way: int) -> None:
-        self._touch(set_index, way)
+        stamp = self._stamp + 1
+        self._stamp = stamp
+        self._last_use[set_index][way] = stamp
 
-    def on_fill(self, set_index: int, way: int) -> None:
-        self._touch(set_index, way)
+    on_fill = on_hit
 
     def victim(self, set_index: int, valid: List[bool]) -> int:
         invalid = self._first_invalid(valid)
@@ -68,6 +75,15 @@ class LRUPolicy(ReplacementPolicy):
             return invalid
         uses = self._last_use[set_index]
         return uses.index(min(uses))
+
+    def snapshot_state(self):
+        return self._stamp, [list(row) for row in self._last_use]
+
+    def restore_state(self, state) -> None:
+        stamp, last_use = state
+        self._stamp = stamp
+        for dst, src in zip(self._last_use, last_use):
+            dst[:] = src
 
 
 class SRRIPPolicy(ReplacementPolicy):
@@ -91,18 +107,28 @@ class SRRIPPolicy(ReplacementPolicy):
         self._rrpv[set_index][way] = self.MAX_RRPV - 1
 
     def victim(self, set_index: int, valid: List[bool]) -> int:
-        invalid = self._first_invalid(valid)
-        if invalid is not None:
-            return invalid
+        if False in valid:
+            return valid.index(False)
         rrpvs = self._rrpv[set_index]
+        max_rrpv = self.MAX_RRPV
         while True:
             # RRPVs never exceed MAX_RRPV (aging only runs when no way is
-            # at the maximum), so the >=-scan is an exact-match search.
-            try:
-                return rrpvs.index(self.MAX_RRPV)
-            except ValueError:
-                for way in range(self.ways):
-                    rrpvs[way] += 1
+            # at the maximum), so the ==-scan is an exact-match search.
+            if max_rrpv in rrpvs:
+                return rrpvs.index(max_rrpv)
+            # Age every line by the distance to the nearest re-reference
+            # in one shot — equivalent to repeated +1 rounds.
+            step = max_rrpv - max(rrpvs)
+            rrpvs[:] = [r + step for r in rrpvs]
+
+    def snapshot_state(self):
+        return [list(row) for row in self._rrpv]
+
+    def restore_state(self, state) -> None:
+        # In place: Cache aliases these row lists for its inlined SRRIP
+        # fast path — rebinding them would silently break the alias.
+        for dst, src in zip(self._rrpv, state):
+            dst[:] = src
 
 
 class RandomPolicy(ReplacementPolicy):
@@ -123,6 +149,12 @@ class RandomPolicy(ReplacementPolicy):
         if invalid is not None:
             return invalid
         return self._rng.randrange(self.ways)
+
+    def snapshot_state(self):
+        return self._rng.getstate()
+
+    def restore_state(self, state) -> None:
+        self._rng.setstate(state)
 
 
 _POLICIES = {"lru": LRUPolicy, "srrip": SRRIPPolicy, "random": RandomPolicy}

@@ -65,9 +65,12 @@ class DRAMGeometry:
         return self.num_banks * self.rows_per_bank * self.row_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DRAMLocation:
-    """A decoded DRAM coordinate."""
+    """A decoded DRAM coordinate.
+
+    (Slotted: one is built per decoded DRAM request, on the hot path.)
+    """
 
     bank: int
     row: int
@@ -104,6 +107,16 @@ class AddressMapping:
     def decode(self, addr: int) -> DRAMLocation:
         """Map a physical byte address to its DRAM location."""
         raise NotImplementedError
+
+    def decode_bank_row(self, addr: int) -> "tuple":
+        """``(bank, row)`` of ``addr`` without building a DRAMLocation.
+
+        The controller's finish-only fast path (prefetch fills, write-backs)
+        needs just these two coordinates; subclasses may override with a
+        cheaper computation than full :meth:`decode`.
+        """
+        loc = self.decode(addr)
+        return loc.bank, loc.row
 
     def encode(self, bank: int, row: int, col: int = 0) -> int:
         """Inverse of :meth:`decode`: craft an address for a location."""
@@ -144,6 +157,16 @@ class RowInterleavedMapping(AddressMapping):
             rest, col = divmod(addr, self._row_bytes)
             row, bank = divmod(rest, self._num_banks)
         return DRAMLocation(bank=bank, row=row, col=col)
+
+    def decode_bank_row(self, addr: int) -> "tuple":
+        if not 0 <= addr < self._capacity:
+            self._check_addr(addr)
+        if self._row_shift is not None and self._bank_shift is not None:
+            rest = addr >> self._row_shift
+            return rest & self._bank_mask, rest >> self._bank_shift
+        rest = addr // self._row_bytes
+        row, bank = divmod(rest, self._num_banks)
+        return bank, row
 
     def encode(self, bank: int, row: int, col: int = 0) -> int:
         self._check_location(bank, row, col)
@@ -206,6 +229,17 @@ class XorBankMapping(AddressMapping):
         row = rest >> self._bank_shift
         bank = raw_bank ^ (row & self._mask)
         return DRAMLocation(bank=bank, row=row, col=col)
+
+    def decode_bank_row(self, addr: int) -> "tuple":
+        if not 0 <= addr < self._capacity:
+            self._check_addr(addr)
+        if self._row_shift is not None:
+            rest = addr >> self._row_shift
+        else:
+            rest = addr // self._row_bytes
+        raw_bank = rest & self._bank_mask
+        row = rest >> self._bank_shift
+        return raw_bank ^ (row & self._mask), row
 
     def encode(self, bank: int, row: int, col: int = 0) -> int:
         self._check_location(bank, row, col)

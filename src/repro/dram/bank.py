@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.dram.timings import DRAMTimings
 
@@ -124,16 +124,13 @@ class Bank:
             return AccessKind.HIT
         return AccessKind.CONFLICT
 
-    def access(self, row: int, issued: int, *, close_after: bool = False) -> BankAccess:
-        """Perform a read/write access to ``row`` starting no earlier than
-        ``issued``.
+    def access_raw(self, row: int, issued: int,
+                   close_after: bool = False) -> "Tuple[AccessKind, int, int]":
+        """Row-buffer state machine core of :meth:`access`.
 
-        Args:
-            row: target DRAM row.
-            issued: requestor's issue time (CPU cycles).
-            close_after: auto-precharge after the access (closed-row policy,
-                the CRP defense of §6); the precharge is hidden — the next
-                access sees an ``EMPTY`` bank and never pays ``tRP``.
+        Returns ``(kind, service_start, finish)`` without building a
+        :class:`BankAccess` — the controller sits on the simulator's
+        hottest path and only needs these three fields.
         """
         busy = self.busy_until
         service_start = issued if issued >= busy else busy
@@ -165,6 +162,20 @@ class Bank:
         else:
             self.open_row = row
             self.busy_until = finish
+        return kind, service_start, finish
+
+    def access(self, row: int, issued: int, *, close_after: bool = False) -> BankAccess:
+        """Perform a read/write access to ``row`` starting no earlier than
+        ``issued``.
+
+        Args:
+            row: target DRAM row.
+            issued: requestor's issue time (CPU cycles).
+            close_after: auto-precharge after the access (closed-row policy,
+                the CRP defense of §6); the precharge is hidden — the next
+                access sees an ``EMPTY`` bank and never pays ``tRP``.
+        """
+        kind, service_start, finish = self.access_raw(row, issued, close_after)
         return BankAccess(kind=kind, issued=issued, service_start=service_start,
                           finish=finish, bank=self.index, row=row)
 
@@ -250,6 +261,16 @@ class Bank:
         """Model a refresh: the bank is busy and its row buffer is closed."""
         self.busy_until = max(self.busy_until, until)
         self.open_row = None
+
+    def snapshot_state(self) -> tuple:
+        """Copied row-buffer state + counters (for warm-state snapshots)."""
+        s = self.stats
+        return (self.open_row, self.busy_until, self.last_activation,
+                (s.hits, s.empties, s.conflicts, s.activations, s.rowclones))
+
+    def restore_state(self, state: tuple) -> None:
+        self.open_row, self.busy_until, self.last_activation, counters = state
+        self.stats = BankStats(*counters)
 
     def snapshot(self) -> Dict[str, object]:
         """Debug/telemetry snapshot of bank state."""

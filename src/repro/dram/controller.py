@@ -183,31 +183,66 @@ class MemoryController:
                is_write: bool = False) -> MemoryResult:
         """Read or write one DRAM word at physical address ``addr``."""
         loc = self.mapper.decode(addr)
-        return self.access_location(loc, issued, requestor=requestor,
-                                    is_write=is_write)
+        kind, finish = self._access_core(loc.bank, loc.row, issued,
+                                         requestor, is_write)
+        return MemoryResult(kind=kind, issued=issued, finish=finish,
+                            location=loc)
 
     def access_location(self, loc: DRAMLocation, issued: int, *,
                         requestor: str = "cpu",
                         is_write: bool = False) -> MemoryResult:
         """Access a pre-decoded DRAM location (fast path for PiM engines)."""
-        start = self._begin(loc.bank, issued, requestor)
-        bank = self.device.banks[loc.bank]
-        result = bank.access(loc.row, start, close_after=self._close_after)
-        finish = result.finish
+        kind, finish = self._access_core(loc.bank, loc.row, issued,
+                                         requestor, is_write)
+        return MemoryResult(kind=kind, issued=issued, finish=finish,
+                            location=loc)
+
+    def access_finish(self, addr: int, issued: int, *, requestor: str = "cpu",
+                      is_write: bool = False) -> int:
+        """Like :meth:`access` but returns only the finish time.
+
+        Identical state evolution and statistics; skips the
+        :class:`DRAMLocation`/:class:`MemoryResult` construction.  Used by
+        fire-and-forget internal traffic — prefetch fills and cache
+        write-backs — where the caller only needs the completion time.
+        """
+        bank_index, row = self.mapper.decode_bank_row(addr)
+        _kind, finish = self._access_core(bank_index, row, issued,
+                                          requestor, is_write)
+        return finish
+
+    def _access_core(self, bank_index: int, row: int, issued: int,
+                     requestor: str, is_write: bool) -> "tuple":
+        """Shared request path: returns ``(kind, finish)``.
+
+        :meth:`_begin` is inlined here — this method runs once per DRAM
+        request and the extra call frame showed up in profiles.
+        """
+        if self._partition:
+            self._check_partition(bank_index, requestor)
+        start = issued + self._queue_cycles
+        locked = self._locked_until
+        if start < locked:
+            start = locked
+        if self._refresh_enabled:
+            start = self.device.refresh_window(bank_index, start)
+        bank = self.device.banks[bank_index]
+        kind, service_start, finish = bank.access_raw(row, start,
+                                                      self._close_after)
         if self._constant_time:
-            finish = self._constant_time_finish(result.service_start, bank)
-        stats = self._stats_for(requestor)
+            finish = self._constant_time_finish(service_start, bank)
+        stats = self.requestor_stats.get(requestor)
+        if stats is None:
+            stats = self._stats_for(requestor)
         if is_write:
             stats.writes += 1
         else:
             stats.reads += 1
-        kind = result.kind
         if kind is AccessKind.HIT:
             stats.hits += 1
         elif kind is AccessKind.CONFLICT:
             stats.conflicts += 1
-        return MemoryResult(kind=kind, issued=issued, finish=finish,
-                            location=loc)
+        return kind, finish
 
     def activate(self, bank_index: int, row: int, issued: int, *,
                  requestor: str = "cpu") -> MemoryResult:
@@ -308,6 +343,33 @@ class MemoryController:
         """Craft the physical address of (bank, row, col) — the attacker's
         memory-massaging primitive (§4.1)."""
         return self.mapper.encode(bank, row, col)
+
+    def snapshot_state(self) -> dict:
+        """Copied controller + bank state for warm-state snapshots."""
+        return {
+            "banks": [bank.snapshot_state() for bank in self.device.banks],
+            "locked_until": self._locked_until,
+            "partition": dict(self._partition),
+            "requestor_stats": {
+                name: (s.reads, s.writes, s.activates, s.rowclones,
+                       s.hits, s.conflicts)
+                for name, s in self.requestor_stats.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        banks = self.device.banks
+        saved = state["banks"]
+        if len(saved) != len(banks):
+            raise ValueError("snapshot bank count mismatch")
+        for bank, bank_state in zip(banks, saved):
+            bank.restore_state(bank_state)
+        self._locked_until = state["locked_until"]
+        self._partition = dict(state["partition"])
+        self.requestor_stats = {
+            name: RequestorStats(*vals)
+            for name, vals in state["requestor_stats"].items()
+        }
 
     def reset_stats(self) -> None:
         """Zero per-requestor and per-bank counters; device state is kept."""

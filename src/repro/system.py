@@ -22,6 +22,7 @@ from repro.pim.offchip import OffChipPredictor, OffChipPredictorConfig
 from repro.pim.pei import ExecutionSite, PEIEngine, PEIResult
 from repro.pim.rowclone import RowCloneEngine, RowCloneResult
 from repro.sim.scheduler import Context
+from repro.sim.snapshot import SystemSnapshot
 from repro.sim.timer import CycleTimer
 
 
@@ -61,6 +62,14 @@ class BackgroundNoise:
             self.injected += 1
             self._next_event = self._schedule_from(self._next_event)
         return fired
+
+    def snapshot_state(self) -> tuple:
+        """Copied injector state (RNG stream position + pending event)."""
+        return self._rng.getstate(), self._next_event, self.injected
+
+    def restore_state(self, state: tuple) -> None:
+        rng_state, self._next_event, self.injected = state
+        self._rng.setstate(rng_state)
 
 
 class System:
@@ -110,6 +119,62 @@ class System:
         self.hierarchy.reset_stats()
         self.controller.reset_stats()
 
+    # ------------------------------------------------------------------
+    # Warm-state snapshot / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> SystemSnapshot:
+        """Capture every piece of mutable architectural state — cache
+        contents and replacement metadata, row-buffer/bank state, TLBs,
+        prefetcher tables, predictor weights, RNG stream positions, and all
+        statistics counters — as an independent copy.
+
+        A snapshot taken after a warm-up replay lets runners restore a warm
+        machine instead of re-running the warm-up for every measurement
+        sharing the same configuration (see :mod:`repro.sim.snapshot`).
+        """
+        predictor = self.offchip_predictor
+        payload = {
+            "controller": self.controller.snapshot_state(),
+            "hierarchy": self.hierarchy.snapshot_state(),
+            "mmus": [mmu.snapshot_state() for mmu in self.mmus],
+            "walker_walks": [walker.walks for walker in self.walkers],
+            "pei": self.pei.snapshot_state(),
+            "rowclone_operations": self.rowclone_engine.operations,
+            "noise": self.noise.snapshot_state(),
+            "dma_rng": self._dma_rng.getstate(),
+            "offchip_predictor": (predictor.snapshot_state()
+                                  if predictor is not None else None),
+        }
+        return SystemSnapshot(config=self.config, payload=payload)
+
+    def restore(self, snap: SystemSnapshot) -> None:
+        """Restore a :meth:`snapshot`.  The snapshot's configuration must
+        equal this system's — state captured under one geometry or policy
+        is meaningless under another."""
+        if snap.config != self.config:
+            raise ValueError(
+                "snapshot was taken under a different SystemConfig; "
+                "build a matching System before restoring")
+        predictor_state = snap.component("offchip_predictor")
+        if (predictor_state is None) != (self.offchip_predictor is None):
+            raise ValueError(
+                "snapshot and system disagree on off-chip predictor "
+                "presence; call enable_offchip_predictor() to match")
+        self.controller.restore_state(snap.component("controller"))
+        self.hierarchy.restore_state(snap.component("hierarchy"))
+        for mmu, mmu_state in zip(self.mmus, snap.component("mmus")):
+            mmu.restore_state(mmu_state)
+        for walker, walks in zip(self.walkers,
+                                 snap.component("walker_walks")):
+            walker.walks = walks
+        self.pei.restore_state(snap.component("pei"))
+        self.rowclone_engine.operations = snap.component("rowclone_operations")
+        self.noise.restore_state(snap.component("noise"))
+        self._dma_rng.setstate(snap.component("dma_rng"))
+        if predictor_state is not None:
+            self.offchip_predictor.restore_state(predictor_state)
+
     @property
     def num_banks(self) -> int:
         return self.controller.num_banks
@@ -143,6 +208,44 @@ class System:
                                        pc=pc, requestor=who)
         ctx.advance_to(result.finish)
         return result
+
+    def load_many(self, ctx: Context, core: int, addrs: List[int], *,
+                  is_write: bool = False, pc: Optional[int] = None,
+                  requestor: Optional[str] = None) -> int:
+        """Back-to-back demand loads/stores (eviction walks, replays).
+
+        Equivalent to calling :meth:`load` once per address (without
+        address translation), but with the per-access call overhead and
+        result construction hoisted out of the loop.  Returns the batch's
+        finish time.  Only safe when no other runnable thread touches the
+        memory system during the batch — the scheduler checkpoints a
+        hand-written loop would yield at are elided (see EXPERIMENTS.md).
+        """
+        who = requestor if requestor is not None else ctx.name
+        finish = self.hierarchy.access_batch(core, addrs, ctx.now,
+                                             is_write=is_write, pc=pc,
+                                             requestor=who)
+        ctx.advance_to(finish)
+        return finish
+
+    def probe_many(self, ctx: Context, core: int, addrs: List[int], *,
+                   requestor: Optional[str] = None) -> List[int]:
+        """Back-to-back *timed* loads: returns each access's latency.
+
+        For receiver probe loops that decode per-access latencies; the
+        same batching-safety rule as :meth:`load_many` applies.
+        """
+        who = requestor if requestor is not None else ctx.name
+        access = self.hierarchy.access
+        now = ctx.now
+        latencies: List[int] = []
+        append = latencies.append
+        for addr in addrs:
+            result = access(core, addr, now, requestor=who)
+            append(result.latency)
+            now = result.finish
+        ctx.advance_to(now)
+        return latencies
 
     def clflush(self, ctx: Context, core: int, addr: int, *,
                 requestor: Optional[str] = None) -> HierarchyResult:
@@ -223,7 +326,16 @@ class System:
                 else ExecutionSite.HOST)
         result = self.pei.execute(addr, ctx.now, core=core, requestor=who,
                                   force_site=site)
-        was_offchip = result.site is not ExecutionSite.HOST or result.kind is not None
+        # Hermes' training signal is data residency, not execution site.
+        # A host-dispatched PEI went off-chip iff it reached DRAM; a
+        # memory-dispatched PEI *always* touches DRAM, so its ground truth
+        # is whether the line was on-chip (inclusive-LLC probe) — the old
+        # site-based signal trained every memory-side PEI toward off-chip,
+        # letting a mispredicting predictor reinforce its own mistakes.
+        if result.site is ExecutionSite.HOST:
+            was_offchip = result.kind is not None
+        else:
+            was_offchip = not self.hierarchy.is_cached(addr)
         predictor.train(addr, was_offchip)
         ctx.advance_to(result.finish)
         return result
