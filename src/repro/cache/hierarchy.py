@@ -23,6 +23,7 @@ from repro.cache.cache import Cache, CacheConfig, EvictedLine
 from repro.cache.cacti import llc_latency_cycles
 from repro.cache.prefetcher import IPStridePrefetcher, StreamerPrefetcher
 from repro.dram.controller import MemoryController, MemoryResult
+from repro.obs import current_observer
 
 
 @dataclass(frozen=True)
@@ -206,6 +207,12 @@ class CacheHierarchy:
         self._line_bytes = config.line_bytes
         self._capacity = controller.config.geometry.capacity_bytes
         self.stats = HierarchyStats()
+        # Observability (repro.obs): None = off, one branch per hook site.
+        self._obs = current_observer()
+
+    def set_observer(self, observer) -> None:
+        """Attach a :class:`repro.obs.Observer`; ``None`` detaches."""
+        self._obs = observer
 
     # ------------------------------------------------------------------
     # Demand path
@@ -246,6 +253,9 @@ class CacheHierarchy:
                     result = HierarchyResult(latency=latency, issued=issued,
                                              hit_level=0, mem=mem,
                                              writebacks=writebacks)
+                    if self._obs is not None:
+                        self._obs.on_cache_miss(core, addr, issued,
+                                                issued + latency, requestor)
         self.stats.observe(requestor, issued, miss=result.hit_level == 0)
         self._run_prefetchers(core, addr, pc, issued + result.latency, requestor)
         return result
@@ -306,6 +316,9 @@ class CacheHierarchy:
                         fill_all(core, addr, is_write, time=finish,
                                  requestor=requestor)
                         miss = True
+                        if self._obs is not None:
+                            self._obs.on_cache_miss(core, addr, now, finish,
+                                                    requestor)
             observe(requestor, now, miss=miss)
             finish = now + latency
             run_prefetchers(core, addr, pc, finish, requestor)
@@ -363,6 +376,8 @@ class CacheHierarchy:
             self.controller.access_finish(evicted.addr, time,
                                           requestor=requestor, is_write=True)
             self.stats.memory_writebacks += 1
+            if self._obs is not None:
+                self._obs.on_cache_writeback(addr, time, requestor)
             return 1
         return 0
 
@@ -454,6 +469,9 @@ class CacheHierarchy:
             latency += mem.latency
             writebacks = 1
             self.stats.memory_writebacks += 1
+        if self._obs is not None:
+            self._obs.on_clflush(core, addr, issued, issued + latency,
+                                 requestor, dirty)
         return HierarchyResult(latency=latency, issued=issued, hit_level=3,
                                mem=mem, writebacks=writebacks)
 
@@ -574,4 +592,6 @@ class CacheHierarchy:
         """Drop all cached state (testing aid; not an ISA operation)."""
         config = self.config
         controller = self.controller
+        obs = self._obs
         self.__init__(config, controller)
+        self._obs = obs

@@ -143,6 +143,46 @@ def cmd_defenses(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one experiment under the event tracer (``repro.obs``) and write
+    a ``chrome://tracing`` / Perfetto-loadable JSON."""
+    from repro import obs
+
+    config = _config(args)
+    attack = "impact-pnm" if args.experiment == "fig7" else args.experiment
+    tracer = obs.Tracer(cpu_ghz=config.cpu_ghz)
+    previous = obs.current_observer()
+    obs.install(tracer)
+    try:
+        system = System(config, sanitize=True if args.sanitize else None)
+        channel = ATTACKS[attack](system)
+        result = channel.transmit_random(args.bits, seed=args.seed)
+    finally:
+        if previous is not None:
+            obs.install(previous)
+        else:
+            obs.uninstall()
+    out = args.out or f"{args.experiment}.trace.json"
+    tracer.write_chrome(out)
+    throughput = getattr(result, "throughput_mbps", None)
+    if throughput is not None:
+        print(f"{attack}: {args.bits} bits, {throughput:.2f} Mb/s")
+    counts = tracer.counts()
+    print("events: " + ", ".join(f"{name}={counts[name]}"
+                                 for name in sorted(counts)))
+    per_req = tracer.per_requestor()
+    rows = [(name, m["operations"], m["busy_cycles"], m["queue_cycles"],
+             m["hits"], m["empties"], m["conflicts"])
+            for name, m in sorted(per_req.items())]
+    print(format_table(
+        ["requestor", "ops", "busy cyc", "queue cyc", "hit", "empty", "conf"],
+        rows, title="per-requestor DRAM activity"))
+    if system.sanitizer is not None:
+        print(system.sanitizer.report())
+    print(f"trace written to {out} (load in chrome://tracing or Perfetto)")
+    return 0
+
+
 def cmd_recon(args: argparse.Namespace) -> int:
     config = _config(args)
     system = System(config)
@@ -219,6 +259,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-refs", type=int, default=30_000)
     add_jobs(p)
     p.set_defaults(func=cmd_defenses)
+
+    p = sub.add_parser(
+        "trace",
+        help="run an experiment under the event tracer (Chrome-trace JSON)")
+    p.add_argument("experiment", choices=sorted(ATTACKS) + ["fig7"],
+                   help="attack to trace; 'fig7' = the Fig. 7 IMPACT-PnM PoC")
+    p.add_argument("--bits", type=int, default=128)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--llc-mb", type=float, default=None)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="output path (default: <experiment>.trace.json)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="also run the timing-invariant sanitizer")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("recon", help="reverse-engineer the bank function")
     p.add_argument("--mapping", choices=["row", "line", "xor"], default="xor")

@@ -92,6 +92,9 @@ class Bank:
     open_row: Optional[int] = None
     busy_until: int = 0
     last_activation: int = 0
+    #: When the currently open row's activation began (tRAS anchor for
+    #: explicit precharges); meaningless while ``open_row`` is None.
+    row_opened_at: int = 0
     stats: BankStats = field(default_factory=BankStats)
 
     def __post_init__(self) -> None:
@@ -106,18 +109,36 @@ class Bank:
         self._rp_cycles = t.rp_cycles
         self._rowclone_fpm_cycles = t.rowclone_fpm_cycles
         self._timeout_cycles = t.row_timeout_cycles
+        self._ras_cycles = t.ras_cycles
 
-    def _effective_open_row(self, time: int) -> Optional[int]:
-        """Open row as seen at ``time``, honoring the open-row timeout."""
-        timeout = self._timeout_cycles
-        if self.open_row is not None and timeout > 0:
-            if time - self.last_activation > timeout:
-                return None
-        return self.open_row
+    def _effective_row_at(self, service_start: int) -> Optional[int]:
+        """Open row as the bank will see it when it services a request at
+        ``service_start``, honoring the open-row timeout.
+
+        This is the single source of truth for the timeout: ``classify``,
+        ``access_raw``, ``activate`` and ``rowclone_fpm`` all evaluate the
+        timeout at the *service* time (``max(issued, busy_until)``), never
+        at the caller's issue time — evaluating at issue time made
+        ``classify`` predict HIT for requests that queue past the timeout
+        and then record CONFLICT.
+        """
+        row = self.open_row
+        if row is not None and self._timeout_cycles > 0 \
+                and service_start - self.last_activation > self._timeout_cycles:
+            return None
+        return row
 
     def classify(self, row: int, time: int) -> AccessKind:
-        """What outcome would an access to ``row`` at ``time`` see?"""
-        current = self._effective_open_row(time)
+        """What outcome would an access to ``row`` issued at ``time`` see?
+
+        Pure (no state change), and agrees with what :meth:`access_raw`
+        would record for the same issue time: the open-row timeout is
+        evaluated at the would-be service start, after any queuing behind
+        ``busy_until``.
+        """
+        busy = self.busy_until
+        service_start = time if time >= busy else busy
+        current = self._effective_row_at(service_start)
         if current is None:
             return AccessKind.EMPTY
         if current == row:
@@ -134,10 +155,7 @@ class Bank:
         """
         busy = self.busy_until
         service_start = issued if issued >= busy else busy
-        current = self.open_row
-        if (current is not None and self._timeout_cycles > 0
-                and service_start - self.last_activation > self._timeout_cycles):
-            current = None
+        current = self._effective_row_at(service_start)
         stats = self.stats
         if current == row:
             kind = AccessKind.HIT
@@ -148,11 +166,13 @@ class Bank:
             latency = self._empty_cycles
             stats.empties += 1
             stats.activations += 1
+            self.row_opened_at = service_start
         else:
             kind = AccessKind.CONFLICT
             latency = self._conflict_cycles
             stats.conflicts += 1
             stats.activations += 1
+            self.row_opened_at = service_start + self._rp_cycles
         finish = service_start + latency
         # Hit or activation alike restart the open-row timeout clock.
         self.last_activation = finish
@@ -188,10 +208,7 @@ class Bank:
         """
         busy = self.busy_until
         service_start = issued if issued >= busy else busy
-        current = self.open_row
-        if (current is not None and self._timeout_cycles > 0
-                and service_start - self.last_activation > self._timeout_cycles):
-            current = None
+        current = self._effective_row_at(service_start)
         stats = self.stats
         if current == row:
             kind = AccessKind.HIT
@@ -199,14 +216,19 @@ class Bank:
             stats.hits += 1
         elif current is None:
             kind = AccessKind.EMPTY
+            # Composed from the same rounded per-component figures as
+            # access_raw's EMPTY latency (tRCD) so CPU accesses and
+            # PiM-style bare ACTs never disagree by a rounding cycle.
             latency = self._rcd_cycles
             stats.empties += 1
             stats.activations += 1
+            self.row_opened_at = service_start
         else:
             kind = AccessKind.CONFLICT
             latency = self._rp_cycles + self._rcd_cycles
             stats.conflicts += 1
             stats.activations += 1
+            self.row_opened_at = service_start + self._rp_cycles
         finish = service_start + latency
         self.open_row = row
         self.busy_until = finish
@@ -237,6 +259,9 @@ class Bank:
             latency = self.timings.rowclone_psm_cycles(lines_per_row)
         if kind is AccessKind.CONFLICT:
             latency += self._rp_cycles
+            self.row_opened_at = service_start + self._rp_cycles
+        else:
+            self.row_opened_at = service_start
         finish = service_start + latency
         self.open_row = dst_row
         self.busy_until = finish
@@ -248,10 +273,21 @@ class Bank:
                           finish=finish, bank=self.index, row=dst_row)
 
     def precharge(self, issued: int) -> int:
-        """Explicitly close the open row; returns the finish time."""
+        """Explicitly close the open row; returns the finish time.
+
+        An explicit PRE command cannot begin until the open row has been
+        active for ``tRAS`` — the activation must finish restoring the
+        cells before the row closes.  (Implicit conflict precharges and
+        the closed-row policy's auto-precharge keep their tRP-only model:
+        with the default timings their earliest possible issue already
+        satisfies tRAS, and the figure baselines pin that behaviour.)
+        """
         service_start = max(issued, self.busy_until)
         if self.open_row is None:
             return service_start
+        earliest = self.row_opened_at + self._ras_cycles
+        if service_start < earliest:
+            service_start = earliest
         finish = service_start + self._rp_cycles
         self.open_row = None
         self.busy_until = finish
@@ -266,10 +302,12 @@ class Bank:
         """Copied row-buffer state + counters (for warm-state snapshots)."""
         s = self.stats
         return (self.open_row, self.busy_until, self.last_activation,
+                self.row_opened_at,
                 (s.hits, s.empties, s.conflicts, s.activations, s.rowclones))
 
     def restore_state(self, state: tuple) -> None:
-        self.open_row, self.busy_until, self.last_activation, counters = state
+        (self.open_row, self.busy_until, self.last_activation,
+         self.row_opened_at, counters) = state
         self.stats = BankStats(*counters)
 
     def snapshot(self) -> Dict[str, object]:

@@ -24,6 +24,7 @@ from repro.dram.address import AddressMapping, DRAMGeometry, DRAMLocation, make_
 from repro.dram.bank import AccessKind, Bank, BankAccess
 from repro.dram.device import DRAMDevice
 from repro.dram.timings import DRAMTimings
+from repro.obs import current_observer
 
 
 class RowPolicy(enum.Enum):
@@ -122,6 +123,20 @@ class MemoryController:
         self._close_after = self.config.row_policy is RowPolicy.CLOSED
         self._constant_time = self.config.constant_time
         self._refresh_enabled = self.config.refresh_enabled
+        # Observability hook (repro.obs): None = off, and every hook site
+        # is guarded by `if obs is not None`, so the default request path
+        # pays one attribute load + branch.
+        self._obs = None
+        obs = current_observer()
+        if obs is not None:
+            self.set_observer(obs)
+
+    def set_observer(self, observer) -> None:
+        """Attach a :class:`repro.obs.Observer` (tracer and/or sanitizer);
+        ``None`` detaches."""
+        self._obs = observer
+        if observer is not None:
+            observer.bind_device(self.device)
 
     # ------------------------------------------------------------------
     # Partitioning (MPR defense)
@@ -168,7 +183,7 @@ class MemoryController:
         return stats
 
     def _begin(self, bank_index: int, issued: int, requestor: str) -> int:
-        """Common entry: partition check, refresh, atomic-lock, queueing."""
+        """Common entry: partition check, queueing, atomic-lock, refresh."""
         if self._partition:
             self._check_partition(bank_index, requestor)
         start = issued + self._queue_cycles
@@ -176,8 +191,31 @@ class MemoryController:
         if start < locked:
             start = locked
         if self._refresh_enabled:
-            start = self.device.refresh_window(bank_index, start)
+            self._refresh_service_start(bank_index, start)
         return start
+
+    def _refresh_service_start(self, bank_index: int, start: int) -> None:
+        """Apply any refresh window covering the request's *service* start.
+
+        The window must be evaluated where the bank will actually service
+        the request — ``max(start, busy_until)`` — not at the post-queue
+        time ``start``: a request delayed behind a busy bank into a later
+        refresh window would otherwise never observe that refresh.
+        Applying a refresh pushes ``busy_until`` to the window's end, so
+        the re-check loops until the service time lands outside every
+        window (at most once more per tREFI period crossed).
+        """
+        device = self.device
+        bank = device.banks[bank_index]
+        obs = self._obs
+        while True:
+            busy = bank.busy_until
+            service = start if start >= busy else busy
+            window_end = device.refresh_window(bank_index, service)
+            if window_end == service:
+                return
+            if obs is not None:
+                obs.on_refresh(bank_index, service, window_end, bank)
 
     def access(self, addr: int, issued: int, *, requestor: str = "cpu",
                is_write: bool = False) -> MemoryResult:
@@ -225,12 +263,18 @@ class MemoryController:
         if start < locked:
             start = locked
         if self._refresh_enabled:
-            start = self.device.refresh_window(bank_index, start)
+            self._refresh_service_start(bank_index, start)
         bank = self.device.banks[bank_index]
+        obs = self._obs
+        predicted = bank.classify(row, start) if obs is not None else None
         kind, service_start, finish = bank.access_raw(row, start,
                                                       self._close_after)
         if self._constant_time:
             finish = self._constant_time_finish(service_start, bank)
+        if obs is not None:
+            obs.on_dram_access("WR" if is_write else "RD", bank_index, row,
+                               kind, requestor, issued, start, service_start,
+                               finish, predicted, bank)
         stats = self.requestor_stats.get(requestor)
         if stats is None:
             stats = self._stats_for(requestor)
@@ -249,13 +293,19 @@ class MemoryController:
         """Row activation without column access (PiM sender primitive)."""
         start = self._begin(bank_index, issued, requestor)
         bank = self.device.banks[bank_index]
+        obs = self._obs
+        predicted = bank.classify(row, start) if obs is not None else None
         result = bank.activate(row, start)
         finish = result.finish
         if self._constant_time:
             finish = self._constant_time_finish(result.service_start, bank)
+        if obs is not None:
+            obs.on_dram_access("ACT", bank_index, row, result.kind, requestor,
+                               issued, start, result.service_start, finish,
+                               predicted, bank)
         if self._close_after:
             # Under CRP the controller immediately precharges again.
-            bank.precharge(finish)
+            self._precharge_observed(bank, finish, obs)
         stats = self._stats_for(requestor)
         stats.activates += 1
         if result.kind is AccessKind.CONFLICT:
@@ -263,6 +313,21 @@ class MemoryController:
         loc = DRAMLocation(bank=bank_index, row=row, col=0)
         return MemoryResult(kind=result.kind, issued=issued, finish=finish,
                             location=loc)
+
+    def _precharge_observed(self, bank: Bank, issued: int, obs) -> int:
+        """Explicit PRE via :meth:`Bank.precharge`, reported to the
+        observer (the sanitizer's tRAS check anchors on the pre-PRE
+        ``row_opened_at``)."""
+        if obs is None:
+            return bank.precharge(issued)
+        had_row = bank.open_row is not None
+        opened_at = bank.row_opened_at
+        finish = bank.precharge(issued)
+        service_start = finish - self.config.timings.rp_cycles if had_row \
+            else finish
+        obs.on_precharge(bank.index, issued, service_start, finish,
+                         opened_at, had_row, bank)
+        return finish
 
     def _constant_time_finish(self, service_start: int, bank: Bank,
                               occupancy: Optional[int] = None) -> int:
@@ -312,6 +377,9 @@ class MemoryController:
             start = self._begin(bank_index, issued, requestor)
             bank = self.device.bank(bank_index)
             geom = self.config.geometry
+            obs = self._obs
+            predicted = bank.classify(src.row, start) if obs is not None \
+                else None
             access = bank.rowclone_fpm(
                 src.row, dst.row, start,
                 rows_per_subarray=geom.rows_per_subarray,
@@ -322,8 +390,12 @@ class MemoryController:
                 finish = self._constant_time_finish(
                     access.service_start, bank,
                     occupancy=t.rowclone_fpm_cycles + t.rp_cycles)
+            if obs is not None:
+                obs.on_rowclone(bank_index, src.row, dst.row, access.kind,
+                                issued, access.service_start, finish,
+                                requestor, predicted, bank)
             if self.config.row_policy is RowPolicy.CLOSED:
-                bank.precharge(finish)
+                self._precharge_observed(bank, finish, obs)
             stats.rowclones += 1
             if access.kind is AccessKind.CONFLICT:
                 stats.conflicts += 1
@@ -349,6 +421,7 @@ class MemoryController:
         return {
             "banks": [bank.snapshot_state() for bank in self.device.banks],
             "locked_until": self._locked_until,
+            "refresh_epoch": self.device.refresh_epoch,
             "partition": dict(self._partition),
             "requestor_stats": {
                 name: (s.reads, s.writes, s.activates, s.rowclones,
@@ -365,11 +438,14 @@ class MemoryController:
         for bank, bank_state in zip(banks, saved):
             bank.restore_state(bank_state)
         self._locked_until = state["locked_until"]
+        self.device.refresh_epoch = state.get("refresh_epoch", 0)
         self._partition = dict(state["partition"])
         self.requestor_stats = {
             name: RequestorStats(*vals)
             for name, vals in state["requestor_stats"].items()
         }
+        if self._obs is not None:
+            self._obs.on_clock_reset("restore")
 
     def reset_stats(self) -> None:
         """Zero per-requestor and per-bank counters; device state is kept."""
@@ -377,9 +453,14 @@ class MemoryController:
         self.device.reset_stats()
 
     def rebase_time(self) -> None:
-        """Zero the device's clocks (see :meth:`DRAMDevice.rebase_time`)."""
-        self.device.rebase_time()
+        """Zero the device's clocks (see :meth:`DRAMDevice.rebase_time`);
+        the discarded warm-up time folds into the device's refresh epoch."""
+        now = max(self._locked_until,
+                  max((b.busy_until for b in self.device.banks), default=0))
+        self.device.rebase_time(now)
         self._locked_until = 0
+        if self._obs is not None:
+            self._obs.on_clock_reset("rebase")
 
     def open_rows(self) -> List[Optional[int]]:
         """Currently open row per bank (None = precharged)."""

@@ -11,17 +11,25 @@ Degradation is graceful by design: ``jobs=1``, a single pending point, or
 an environment where worker processes cannot be spawned (sandboxes without
 semaphores, exotic interpreters) all fall back to in-process serial
 execution of the exact same point functions.
+
+Tracing survives the fan-out: when ``REPRO_TRACE_DIR`` is set (directly,
+or via ``run_sweep(trace_dir=...)``, which exports it around the sweep so
+forked workers inherit it), every point — serial or in a worker process —
+runs under a fresh :class:`repro.obs.Tracer` and writes its Chrome-trace
+JSON into that directory, named after the point's label.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import re
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterator, List, Optional, Sequence
 
+from repro import obs
 from repro.exp.cache import ResultCache
 from repro.exp.sweep import SweepPoint
 
@@ -57,12 +65,37 @@ class SweepOutcome:
         return self.results[index]
 
 
+def _trace_path(trace_dir: str, point: SweepPoint) -> str:
+    slug = re.sub(r"[^A-Za-z0-9._=-]+", "_", point.describe()).strip("_")
+    return os.path.join(trace_dir, f"{slug[:120] or 'point'}.trace.json")
+
+
 def _run_point(point: SweepPoint) -> Any:
-    return point.run()
+    trace_dir = os.environ.get("REPRO_TRACE_DIR")
+    if not trace_dir:
+        return point.run()
+    # Per-point tracer, installed process-globally so the Systems and
+    # schedulers the point builds internally pick it up.  Works identically
+    # in the parent (serial path) and in forked workers, which inherit the
+    # environment variable.
+    os.makedirs(trace_dir, exist_ok=True)
+    tracer = obs.Tracer()
+    previous = obs.current_observer()
+    obs.install(tracer)
+    try:
+        return point.run()
+    finally:
+        if previous is not None:
+            obs.install(previous)
+        else:
+            obs.uninstall()
+        # Written even when the point raises — a partial trace is exactly
+        # what debugging a failed point needs.
+        tracer.write_chrome(_trace_path(trace_dir, point))
 
 
 def _run_serial(points: Sequence[SweepPoint]) -> List[Any]:
-    return [point.run() for point in points]
+    return [_run_point(point) for point in points]
 
 
 def _run_parallel(points: Sequence[SweepPoint], jobs: int) -> List[Any]:
@@ -82,7 +115,8 @@ def _run_parallel(points: Sequence[SweepPoint], jobs: int) -> List[Any]:
 
 
 def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
-              cache: Optional[ResultCache] = None) -> SweepOutcome:
+              cache: Optional[ResultCache] = None,
+              trace_dir: Optional[str] = None) -> SweepOutcome:
     """Run every point, in parallel when possible, and return a
     :class:`SweepOutcome` whose ``results`` align with ``points``.
 
@@ -92,8 +126,24 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
             ``1`` → serial in-process execution).
         cache: optional result cache — cached points never reach a worker,
             and freshly computed payloads are stored back.
+        trace_dir: when given, every executed point writes a Chrome-trace
+            JSON into this directory (exported as ``REPRO_TRACE_DIR`` for
+            the duration of the sweep so worker processes see it too).
+            Cached points are not re-traced.
     """
     started = time.perf_counter()
+    if trace_dir is not None:
+        saved_trace = os.environ.get("REPRO_TRACE_DIR")
+        os.environ["REPRO_TRACE_DIR"] = trace_dir
+        try:
+            outcome = run_sweep(points, jobs=jobs, cache=cache)
+        finally:
+            if saved_trace is None:
+                os.environ.pop("REPRO_TRACE_DIR", None)
+            else:
+                os.environ["REPRO_TRACE_DIR"] = saved_trace
+        outcome.elapsed_seconds = time.perf_counter() - started
+        return outcome
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     results: List[Any] = [None] * len(points)
     pending: List[int] = []

@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple
 from repro.cache.hierarchy import CacheHierarchy
 from repro.dram.bank import AccessKind
 from repro.dram.controller import MemoryController
+from repro.obs import current_observer
 
 
 class ExecutionSite(enum.Enum):
@@ -185,6 +186,12 @@ class PEIEngine:
         self.monitor = LocalityMonitor(config, line_bytes=line)
         self.memory_executions = 0
         self.host_executions = 0
+        # Observability (repro.obs): None = off, one branch per PEI.
+        self._obs = current_observer()
+
+    def set_observer(self, observer) -> None:
+        """Attach a :class:`repro.obs.Observer`; ``None`` detaches."""
+        self._obs = observer
 
     # ------------------------------------------------------------------
     # Core operation
@@ -214,6 +221,9 @@ class PEIEngine:
         mem = self.controller.access(addr, t, requestor=requestor)
         finish = mem.finish + cfg.pcu_op_cycles + cfg.network_cycles
         self.memory_executions += 1
+        if self._obs is not None:
+            self._obs.on_pei("memory", addr, issued, finish, requestor,
+                             mem.kind.value, mem.bank)
         return PEIResult(site=ExecutionSite.MEMORY, issued=issued,
                          finish=finish, kind=mem.kind, bank=mem.bank)
 
@@ -228,6 +238,9 @@ class PEIEngine:
         self.host_executions += 1
         kind = result.mem.kind if result.mem is not None else None
         bank = result.mem.bank if result.mem is not None else None
+        if self._obs is not None:
+            self._obs.on_pei("host", addr, issued, finish, requestor,
+                             kind.value if kind is not None else None, bank)
         return PEIResult(site=ExecutionSite.HOST, issued=issued,
                          finish=finish, kind=kind, bank=bank)
 
@@ -260,6 +273,7 @@ class PEIEngine:
         """
         gap = issue_gap_cycles if issue_gap_cycles is not None else self.config.issue_cycles
         cfg = self.config
+        obs = self._obs
         results: List[PEIResult] = []
         for i, addr in enumerate(addrs):
             issue_time = issued + int(i * gap)
@@ -267,6 +281,9 @@ class PEIEngine:
             mem = self.controller.access(addr, t, requestor=requestor)
             finish = mem.finish + cfg.pcu_op_cycles + cfg.network_cycles
             self.memory_executions += 1
+            if obs is not None:
+                obs.on_pei("memory", addr, issue_time, finish, requestor,
+                           mem.kind.value, mem.bank)
             results.append(PEIResult(site=ExecutionSite.MEMORY,
                                      issued=issue_time, finish=finish,
                                      kind=mem.kind, bank=mem.bank))

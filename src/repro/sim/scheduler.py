@@ -37,6 +37,8 @@ import heapq
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Generator, Iterator, List, Optional, Tuple
 
+from repro.obs import current_observer
+
 
 class DeadlockError(RuntimeError):
     """Raised when no thread is runnable but blocked threads remain."""
@@ -198,7 +200,11 @@ class Scheduler:
     slow path (used by the equivalence tests).
     """
 
-    def __init__(self, fast_path: bool = True) -> None:
+    _instances = 0
+
+    def __init__(self, fast_path: bool = True, observer: Any = None) -> None:
+        Scheduler._instances += 1
+        self._sched_id = Scheduler._instances
         self._heap: List[Tuple[int, int, SimThread]] = []
         self._threads: List[SimThread] = []
         self._blocked: Dict[int, SimThread] = {}
@@ -207,6 +213,11 @@ class Scheduler:
         self.fast_path = fast_path
         self.fast_resumes = 0
         self.max_time: int = 0
+        # repro.obs hook: explicit observer, else the process-global one
+        # (attack primitives build their schedulers internally, so `repro
+        # trace` relies on the global pickup); None = off, one branch per
+        # resume/block.
+        self._obs = observer if observer is not None else current_observer()
 
     def spawn(self, body: ThreadBody, *args: Any, name: Optional[str] = None,
               start_time: int = 0, **kwargs: Any) -> SimThread:
@@ -244,6 +255,7 @@ class Scheduler:
         heap = self._heap
         heappush, heappop = heapq.heappush, heapq.heappop
         use_fast = self.fast_path
+        obs = self._obs
         while heap:
             now, _seq, thread = heappop(heap)
             if thread.finished:
@@ -251,6 +263,8 @@ class Scheduler:
             if until is not None and now > until:
                 heappush(heap, (now, _seq, thread))
                 break
+            if obs is not None:
+                obs.on_thread_resume(thread.ctx.name, now, self._sched_id)
             # Run-to-block: keep stepping this thread inline for as long as
             # it only checkpoints and stays globally minimal.
             generator = thread.generator
@@ -318,6 +332,10 @@ class Scheduler:
             sem._waiters.append(thread)
             self._blocked[thread._seq] = thread
             self._blocked_on[thread._seq] = f"semaphore {sem.name!r}"
+            if self._obs is not None:
+                self._obs.on_thread_block(thread.ctx.name, thread.ctx.now,
+                                          f"semaphore {sem.name}",
+                                          self._sched_id)
 
     def _do_release(self, thread: SimThread, sem: Semaphore) -> None:
         release_time = thread.ctx.now
@@ -336,6 +354,10 @@ class Scheduler:
         if len(barrier._arrived) < barrier.parties:
             self._blocked[thread._seq] = thread
             self._blocked_on[thread._seq] = f"barrier {barrier.name!r}"
+            if self._obs is not None:
+                self._obs.on_thread_block(thread.ctx.name, thread.ctx.now,
+                                          f"barrier {barrier.name}",
+                                          self._sched_id)
             return
         resume_time = max(t.ctx.now for t in barrier._arrived)
         barrier._generation += 1

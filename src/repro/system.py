@@ -18,6 +18,8 @@ from repro.config import SystemConfig
 from repro.dram.controller import MemoryController, MemoryResult
 from repro.mmu.mmu import MMU, MMUConfig
 from repro.mmu.page_table import PageTableWalker
+from repro.obs import (MultiObserver, Observer, Sanitizer, current_observer,
+                       sanitize_requested)
 from repro.pim.offchip import OffChipPredictor, OffChipPredictorConfig
 from repro.pim.pei import ExecutionSite, PEIEngine, PEIResult
 from repro.pim.rowclone import RowCloneEngine, RowCloneResult
@@ -77,8 +79,33 @@ class System:
 
     PAGE_TABLE_BASE_FRACTION = 0.75  # page tables live high in memory
 
-    def __init__(self, config: Optional[SystemConfig] = None) -> None:
+    def __init__(self, config: Optional[SystemConfig] = None, *,
+                 observer: Optional[Observer] = None,
+                 sanitize: Optional[bool] = None) -> None:
+        """Build the machine.
+
+        Args:
+            config: system configuration (paper defaults when omitted).
+            observer: a :class:`repro.obs.Observer` (e.g. a ``Tracer``)
+                attached to every instrumented component; defaults to the
+                process-global observer, if one is installed.
+            sanitize: attach a strict :class:`repro.obs.Sanitizer` that
+                raises on any timing-invariant violation.  ``None`` (the
+                default) defers to the ``REPRO_SANITIZE`` environment
+                variable.
+        """
         self.config = config or SystemConfig.paper_default()
+        if sanitize is None:
+            sanitize = sanitize_requested()
+        self.sanitizer: Optional[Sanitizer] = Sanitizer() if sanitize else None
+        base = observer if observer is not None else current_observer()
+        if self.sanitizer is not None and base is not None:
+            self.observer: Optional[Observer] = MultiObserver(
+                [base, self.sanitizer])
+        elif self.sanitizer is not None:
+            self.observer = self.sanitizer
+        else:
+            self.observer = base
         self.controller = MemoryController(self.config.controller_config())
         self.hierarchy = CacheHierarchy(self.config.hierarchy, self.controller)
         capacity = self.config.geometry.capacity_bytes
@@ -95,6 +122,10 @@ class System:
             self.config.noise.seed)
         self._dma_rng = random.Random(self.config.dma.jitter_seed)
         self.offchip_predictor: Optional[OffChipPredictor] = None
+        if self.observer is not None:
+            self.controller.set_observer(self.observer)
+            self.hierarchy.set_observer(self.observer)
+            self.pei.set_observer(self.observer)
 
     # ------------------------------------------------------------------
     # Construction helpers

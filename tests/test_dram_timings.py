@@ -27,6 +27,26 @@ def test_conflict_is_precharge_plus_empty():
     assert t.conflict_cycles == t.rp_cycles + t.empty_cycles
 
 
+@pytest.mark.parametrize("cpu_ghz", [1.0, 1.3, 2.4, 2.6, 3.0, 3.7, 4.25])
+def test_latencies_compose_from_rounded_components(cpu_ghz):
+    """Composite latencies must be sums of the *rounded* per-command
+    figures — never round(ns sum) — so the CPU access path (which pays
+    ``conflict_cycles`` whole) and the PiM activate path (which pays
+    ``rp_cycles + rcd_cycles`` piecewise) can never disagree by a
+    rounding cycle, at any CPU frequency."""
+    t = DRAMTimings(cpu_ghz=cpu_ghz)
+    assert t.empty_cycles == t.rcd_cycles + t.cas_cycles
+    assert t.conflict_cycles == t.rp_cycles + t.rcd_cycles + t.cas_cycles
+    assert t.conflict_hit_gap_cycles == t.rp_cycles + t.rcd_cycles
+
+
+def test_sec31_gap_composition_at_paper_frequency():
+    """The §3.1 ~74-cycle conflict-over-hit gap is exactly tRP + tRCD at
+    the paper's 2.6 GHz (2 x 13.5 ns x 2.6 GHz = 70 cycles rounded)."""
+    t = DRAMTimings()
+    assert t.conflict_hit_gap_cycles == t.rp_cycles + t.rcd_cycles == 70
+
+
 def test_rowclone_latency_exceeds_single_activation():
     t = DRAMTimings()
     assert t.rowclone_fpm_cycles > t.rcd_cycles

@@ -1,0 +1,412 @@
+"""Sanitizer + timing-model regression tests (the repro.obs bugfix PR).
+
+Covers the invariant checker itself plus one regression test per timing
+fix it surfaced: refresh-window ordering under queuing, open-row-timeout
+unification between ``classify`` and ``access_raw``, tRAS on explicit
+precharges, and the refresh-epoch carry through clock rebases and
+snapshots.  Ends with the property test: randomized multi-requestor
+traffic under a strict sanitizer, bit-identical to the unsanitized run.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.dram import (AccessKind, Bank, DRAMGeometry, DRAMTimings,
+                        MemoryController, MemoryControllerConfig, RowPolicy)
+from repro.obs import MultiObserver, Sanitizer, SanitizerError
+from repro.system import System
+
+GEOM = DRAMGeometry(ranks=2, banks_per_rank=4, rows_per_bank=512,
+                    row_bytes=2048)
+
+
+def make_controller(**kwargs):
+    defaults = dict(geometry=GEOM)
+    defaults.update(kwargs)
+    return MemoryController(MemoryControllerConfig(**defaults))
+
+
+# ---------------------------------------------------------------------------
+# Sanitizer mechanics
+# ---------------------------------------------------------------------------
+
+class TestSanitizer:
+    def test_strict_raises_on_violation(self):
+        s = Sanitizer()
+        bank = Bank(index=0, timings=DRAMTimings())
+        with pytest.raises(SanitizerError, match="ordering"):
+            # finish before issue is impossible
+            s.on_dram_access("RD", 0, 1, AccessKind.HIT, "cpu",
+                             100, 104, 104, 50, AccessKind.HIT, bank)
+
+    def test_non_strict_collects(self):
+        s = Sanitizer(strict=False)
+        bank = Bank(index=0, timings=DRAMTimings())
+        s.on_dram_access("RD", 0, 1, AccessKind.HIT, "cpu",
+                         100, 104, 104, 50, AccessKind.HIT, bank)
+        assert not s.ok
+        assert len(s.violations) == 1
+        assert "violation" in s.report()
+
+    def test_flags_classify_disagreement(self):
+        s = Sanitizer(strict=False)
+        bank = Bank(index=0, timings=DRAMTimings())
+        s.on_dram_access("RD", 0, 1, AccessKind.CONFLICT, "cpu",
+                         0, 4, 4, 110, AccessKind.HIT, bank)
+        assert any("classify" in v for v in s.violations)
+
+    def test_flags_busy_until_regression(self):
+        s = Sanitizer(strict=False)
+        bank = Bank(index=0, timings=DRAMTimings())
+        bank.busy_until = 500
+        s.on_dram_access("RD", 0, 1, AccessKind.HIT, "cpu",
+                         0, 4, 4, 500, AccessKind.HIT, bank)
+        bank.busy_until = 400  # illegally rewound
+        s.on_dram_access("RD", 0, 1, AccessKind.HIT, "cpu",
+                         300, 304, 304, 400, AccessKind.HIT, bank)
+        assert any("backwards" in v for v in s.violations)
+
+    def test_clock_reset_restarts_monotonicity_floor(self):
+        s = Sanitizer()
+        bank = Bank(index=0, timings=DRAMTimings())
+        bank.busy_until = 500
+        s.on_dram_access("RD", 0, 1, AccessKind.HIT, "cpu",
+                         0, 4, 4, 500, AccessKind.HIT, bank)
+        s.on_clock_reset("rebase")
+        bank.busy_until = 39  # legal: clocks were rebased
+        s.on_dram_access("RD", 0, 1, AccessKind.HIT, "cpu",
+                         0, 4, 4, 39, AccessKind.HIT, bank)
+        assert s.ok
+
+    def test_thread_resume_monotonic_per_scheduler(self):
+        s = Sanitizer(strict=False)
+        s.on_thread_resume("sender", 100, 1)
+        s.on_thread_resume("sender", 250, 1)
+        # Same name, *different* scheduler instance: fresh clock, no flag.
+        s.on_thread_resume("sender", 0, 2)
+        assert s.ok
+        s.on_thread_resume("sender", 90, 1)  # same scheduler, rewound
+        assert not s.ok
+
+    def test_tras_violation_flagged_on_explicit_pre(self):
+        t = DRAMTimings()
+        s = Sanitizer(strict=False)
+        mc = make_controller()
+        s.bind_device(mc.device)
+        bank = mc.device.banks[0]
+        bank.open_row = None
+        s.on_precharge(0, 10, 10, 10 + t.rp_cycles,
+                       opened_at=0, had_row=True, bank=bank)
+        assert any("tRAS" in v for v in s.violations)
+
+
+def test_env_flag_attaches_sanitizer(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert System().sanitizer is not None
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert System().sanitizer is None
+    monkeypatch.delenv("REPRO_SANITIZE")
+    assert System().sanitizer is None
+    assert System(sanitize=True).sanitizer is not None
+
+
+# ---------------------------------------------------------------------------
+# Fix 1: refresh windows are evaluated at the actual service start
+# ---------------------------------------------------------------------------
+
+class TestRefreshOrdering:
+    def test_request_queued_into_refresh_window_observes_it(self):
+        """A request issued *outside* any refresh window but delayed behind
+        a busy bank *into* one must wait for the window's end with its row
+        buffer closed (the old code checked only the post-queue time, so
+        the refresh never happened)."""
+        mc = make_controller(refresh_enabled=True)
+        t = mc.config.timings
+        period, rfc = t.refi_cycles, t.rfc_cycles
+        bank = mc.device.banks[0]
+        # Bank 0 (rank 0, stagger 0): second window is [period, period+rfc).
+        bank.open_row = 7
+        bank.busy_until = period + 100      # busy into the second window
+        bank.last_activation = period + 100
+        addr = mc.address_of(bank=0, row=7)
+        issued = period - 1000              # queue time far outside a window
+        result = mc.access(addr, issued=issued)
+        # Refresh closed the row (no HIT despite row 7 open) and blocked
+        # the bank through the window's end.
+        assert result.kind is AccessKind.EMPTY
+        assert result.finish == period + rfc + t.empty_cycles
+
+    def test_request_outside_window_unaffected(self):
+        mc = make_controller(refresh_enabled=True)
+        t = mc.config.timings
+        bank = mc.device.banks[0]
+        bank.open_row = 7
+        busy = t.rfc_cycles + 500           # between windows, bank idle soon
+        bank.busy_until = busy
+        bank.last_activation = busy
+        addr = mc.address_of(bank=0, row=7)
+        result = mc.access(addr, issued=busy)
+        assert result.kind is AccessKind.HIT
+
+    def test_back_to_back_pattern_straddling_trefi_sanitized(self):
+        """Chained accesses crossing a tREFI boundary run violation-free
+        under the strict sanitizer (the old ordering bug would trip the
+        'serviced inside a refresh window' check)."""
+        mc = make_controller(refresh_enabled=True)
+        sanitizer = Sanitizer()
+        mc.set_observer(sanitizer)
+        t = mc.config.timings
+        period = t.refi_cycles
+        now = period - 1500
+        rng = random.Random(7)
+        for _ in range(120):
+            addr = mc.address_of(bank=rng.randrange(GEOM.num_banks),
+                                 row=rng.randrange(64))
+            # Issue faster than the banks can service (avg gap 25 cycles vs
+            # >=35-cycle access latencies): requests queue behind busy
+            # banks, some of them into the banks' refresh windows.
+            mc.access(addr, issued=now, requestor=f"req{rng.randrange(3)}")
+            now += rng.randrange(10, 40)
+        assert now > period  # the pattern did straddle the boundary
+        assert sanitizer.ok
+        assert sanitizer.checked_events >= 120
+
+
+# ---------------------------------------------------------------------------
+# Fix 2: one open-row-timeout evaluation for classify and access paths
+# ---------------------------------------------------------------------------
+
+class TestTimeoutUnification:
+    TIMEOUT_TIMINGS = DRAMTimings(row_timeout_ns=100.0)  # 260 cycles
+
+    def _bank(self, open_row, busy_until, last_activation):
+        bank = Bank(index=0, timings=self.TIMEOUT_TIMINGS)
+        bank.open_row = open_row
+        bank.busy_until = busy_until
+        bank.last_activation = last_activation
+        bank.row_opened_at = max(0, last_activation - 35)
+        return bank
+
+    def test_classify_sees_timeout_at_service_start(self):
+        """Issued before the timeout but serviced after it: both classify
+        and access_raw must say EMPTY (classify used to say HIT)."""
+        bank = self._bank(open_row=7, busy_until=300, last_activation=0)
+        # service_start = 300 > timeout 260 -> row timed out by then
+        assert bank.classify(7, 100) is AccessKind.EMPTY
+        kind, service_start, _ = bank.access_raw(7, 100)
+        assert service_start == 300
+        assert kind is AccessKind.EMPTY
+
+    def test_classify_matches_access_raw_on_random_states(self):
+        rng = random.Random(123)
+        for _ in range(500):
+            open_row = rng.choice([None, 3, 7])
+            last = rng.randrange(0, 400)
+            bank = self._bank(open_row=open_row,
+                              busy_until=last + rng.randrange(0, 400),
+                              last_activation=last)
+            row = rng.choice([3, 7, 9])
+            time = rng.randrange(0, 800)
+            predicted = bank.classify(row, time)
+            kind, _, _ = bank.access_raw(row, time)
+            assert predicted is kind, (
+                f"classify={predicted} access={kind} row={row} t={time} "
+                f"open={open_row} busy={bank.busy_until}")
+
+    def test_classify_matches_activate(self):
+        bank = self._bank(open_row=7, busy_until=300, last_activation=0)
+        predicted = bank.classify(7, 100)
+        result = bank.activate(7, 100)
+        assert predicted is result.kind is AccessKind.EMPTY
+
+    def test_rowclone_uses_service_time_timeout(self):
+        bank = self._bank(open_row=7, busy_until=300, last_activation=0)
+        access = bank.rowclone_fpm(7, 9, 100)
+        # Row 7 timed out by service time 300: the copy sees EMPTY, not HIT.
+        assert access.kind is AccessKind.EMPTY
+
+
+# ---------------------------------------------------------------------------
+# Fix 3 companion: tRAS bounds explicit precharges
+# ---------------------------------------------------------------------------
+
+class TestExplicitPrechargeTras:
+    def test_pre_waits_for_tras_after_activate(self):
+        t = DRAMTimings()
+        bank = Bank(index=0, timings=t)
+        bank.activate(5, 0)                      # row open at service 0
+        finish = bank.precharge(bank.busy_until)  # PRE right after tRCD
+        # tRCD (35) < tRAS (83): the PRE must wait until tRAS elapses.
+        assert finish == t.ras_cycles + t.rp_cycles
+        assert bank.open_row is None
+
+    def test_pre_after_tras_unaffected(self):
+        t = DRAMTimings()
+        bank = Bank(index=0, timings=t)
+        bank.activate(5, 0)
+        finish = bank.precharge(1000)
+        assert finish == 1000 + t.rp_cycles
+
+    def test_crp_auto_precharge_never_violates_tras(self):
+        """The closed-row policy's controller-issued PRE after a bare ACT
+        is tRAS-clean under the sanitizer."""
+        mc = make_controller(row_policy=RowPolicy.CLOSED)
+        sanitizer = Sanitizer()
+        mc.set_observer(sanitizer)
+        now = 0
+        for row in (1, 2, 3, 4):
+            result = mc.activate(0, row, now)
+            now = result.finish + 10
+        assert sanitizer.ok
+        assert sanitizer.checked_events >= 8  # ACTs + PREs
+
+
+# ---------------------------------------------------------------------------
+# Fix 4: refresh schedule survives clock rebases and snapshots
+# ---------------------------------------------------------------------------
+
+class TestRefreshEpoch:
+    def test_rebase_preserves_refresh_phase(self):
+        mc = make_controller(refresh_enabled=True)
+        t = mc.config.timings
+        half = t.refi_cycles // 2
+        mc.device.banks[0].busy_until = half  # pretend we ran to mid-period
+        mc.rebase_time()
+        assert mc.device.refresh_epoch == half
+        # Rebased t=0 is mid-period: NOT in rank 0's window (without the
+        # epoch the schedule would restart at phase 0 = inside the window).
+        assert not mc.device.in_refresh_window(0, 0)
+        assert mc.device.in_refresh_window(0, t.refi_cycles - half)
+
+    def test_epoch_accumulates_modulo_period(self):
+        mc = make_controller(refresh_enabled=True)
+        t = mc.config.timings
+        for _ in range(3):
+            mc.device.banks[0].busy_until = t.refi_cycles + 100
+            mc.rebase_time()
+        assert mc.device.refresh_epoch == 300 % t.refi_cycles
+
+    def test_snapshot_restore_carries_epoch(self):
+        mc = make_controller(refresh_enabled=True)
+        mc.device.banks[0].busy_until = 12345
+        mc.rebase_time()
+        snap = mc.snapshot_state()
+        other = make_controller(refresh_enabled=True)
+        other.restore_state(snap)
+        assert other.device.refresh_epoch == 12345
+
+    def test_old_snapshots_without_epoch_still_restore(self):
+        mc = make_controller(refresh_enabled=True)
+        snap = mc.snapshot_state()
+        del snap["refresh_epoch"]
+        mc.restore_state(snap)  # must not raise
+        assert mc.device.refresh_epoch == 0
+
+    def test_rebase_noop_when_refresh_disabled(self):
+        mc = make_controller()
+        mc.device.banks[0].busy_until = 9999
+        mc.rebase_time()
+        assert mc.device.refresh_epoch == 0
+
+
+# ---------------------------------------------------------------------------
+# Property test: random multi-requestor traffic, sanitized vs not
+# ---------------------------------------------------------------------------
+
+def _drive_traffic(system, seed, ops=400):
+    """Deterministic random traffic over every request type; returns the
+    finish-time trace (the bit-for-bit observable)."""
+    rng = random.Random(seed)
+    geometry = system.config.geometry
+    requestors = ["cpu", "attacker", "victim"]
+    trace = []
+    now = 0
+    for _ in range(ops):
+        op = rng.randrange(6)
+        who = rng.choice(requestors)
+        addr = (rng.randrange(geometry.num_banks) * geometry.row_bytes
+                + rng.randrange(4) * 64
+                + rng.randrange(32) * geometry.num_banks * geometry.row_bytes)
+        if op == 0:
+            result = system.hierarchy.access(rng.randrange(2), addr, now,
+                                             is_write=rng.random() < 0.3,
+                                             requestor=who)
+            now = result.finish
+        elif op == 1:
+            result = system.controller.access(addr, now, requestor=who,
+                                              is_write=rng.random() < 0.5)
+            now = result.finish
+        elif op == 2:
+            result = system.controller.activate(
+                rng.randrange(geometry.num_banks), rng.randrange(64), now,
+                requestor=who)
+            now = result.finish
+        elif op == 3:
+            result = system.hierarchy.clflush(rng.randrange(2), addr, now,
+                                              requestor=who)
+            now = result.finish
+        elif op == 4:
+            result = system.pei.execute(addr, now, requestor=who)
+            now = result.finish
+        else:
+            src = system.address_of(0, rng.randrange(32))
+            dst = system.address_of(0, 32 + rng.randrange(32))
+            results = system.controller.rowclone(
+                src, dst, mask=rng.randrange(1, 8), issued=now,
+                requestor=who)
+            now = max(r.finish for r in results)
+        trace.append(now)
+        now += rng.randrange(0, 50)
+    return trace
+
+
+@pytest.mark.parametrize("refresh", [False, True])
+def test_randomized_traffic_zero_violations_and_bit_identical(refresh):
+    config = replace(SystemConfig.paper_default(), refresh_enabled=refresh)
+    for seed in (1, 2, 3):
+        plain = System(config, sanitize=False)
+        checked = System(config, sanitize=True)
+        assert checked.sanitizer is not None
+        trace_plain = _drive_traffic(plain, seed)
+        trace_checked = _drive_traffic(checked, seed)
+        # Strict mode would have raised already; assert explicitly anyway.
+        assert checked.sanitizer.ok
+        assert checked.sanitizer.checked_events > 0
+        assert trace_checked == trace_plain
+
+
+def test_snapshot_restore_equivalence_under_sanitizer():
+    """Restore-then-replay equals straight-replay, with the sanitizer
+    watching both phases (its monotonicity floors must reset on restore)."""
+    config = SystemConfig.paper_default()
+    reference = System(config, sanitize=False)
+    _drive_traffic(reference, seed=11, ops=150)
+    tail_ref = _drive_traffic(reference, seed=12, ops=150)
+
+    checked = System(config, sanitize=True)
+    _drive_traffic(checked, seed=11, ops=150)
+    snap = checked.snapshot()
+    _drive_traffic(checked, seed=99, ops=60)   # diverge...
+    checked.restore(snap)                      # ...and rewind
+    tail_checked = _drive_traffic(checked, seed=12, ops=150)
+    assert checked.sanitizer.ok
+    assert tail_checked == tail_ref
+
+
+def test_batch_vs_loop_equivalence_under_sanitizer():
+    config = SystemConfig.paper_default()
+    addrs = [((i * 7919) % 4096) * 64 for i in range(300)]
+
+    loop = System(config, sanitize=False)
+    now = 0
+    for addr in addrs:
+        now = loop.hierarchy.access(0, addr, now, requestor="cpu").finish
+
+    batched = System(config, sanitize=True)
+    batch_finish = batched.hierarchy.access_batch(0, addrs, 0,
+                                                  requestor="cpu")
+    assert batched.sanitizer.ok
+    assert batch_finish == now
