@@ -4,7 +4,7 @@
 Runs a reduced slice of every figure sweep through :mod:`repro.exp`
 (parallel + cached exactly like the benches), times raw simulator,
 scheduler, and warm-up/snapshot microbenchmarks, and writes the whole
-record to ``BENCH_PR2.json`` at the repo root.  Intended for
+record to ``BENCH_PR4.json`` at the repo root.  Intended for
 ``make bench-quick``::
 
     PYTHONPATH=src python scripts/bench_snapshot.py [--jobs N] [--no-cache]
@@ -36,7 +36,7 @@ from repro.exp.figures import (  # noqa: E402
 )
 
 CACHE_DIR = os.path.join(REPO_ROOT, "benchmarks", "results", ".cache")
-OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR2.json")
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR4.json")
 
 # Reduced axes: one quick pass over every figure, a couple of minutes
 # serial and cold, seconds warm or parallel.

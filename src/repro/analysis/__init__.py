@@ -10,22 +10,57 @@ from repro.analysis.coding import (
     hamming74_encode,
 )
 from repro.analysis.figures import bar_chart, grouped_bar_chart, latency_histogram
-from repro.analysis.report import ResultTable, format_table
-from repro.analysis.stats import LatencyStats, split_by_bit, summarize_latencies
+from repro.analysis.quality import (
+    TVLA_T_THRESHOLD,
+    ChannelQuality,
+    bin_latencies,
+    channel_quality,
+    mutual_information_bits,
+    wilson_interval,
+)
+from repro.analysis.report import ResultTable, format_markdown_table, format_table
+from repro.analysis.runreport import (
+    collect_run_report,
+    render_markdown,
+    write_run_report,
+)
+from repro.analysis.stats import (
+    LatencyStats,
+    WelchT,
+    percentile,
+    split_by_bit,
+    summarize_latencies,
+    welch_t_from_summary,
+    welch_t_stat,
+)
 
 __all__ = [
     "FecAssessment",
     "LatencyStats",
     "ResultTable",
+    "ChannelQuality",
+    "TVLA_T_THRESHOLD",
+    "WelchT",
     "bar_chart",
     "grouped_bar_chart",
     "latency_histogram",
+    "bin_latencies",
+    "channel_quality",
+    "collect_run_report",
     "decode_stream",
     "encode_stream",
     "fec_assessment",
+    "format_markdown_table",
     "format_table",
     "hamming74_decode",
     "hamming74_encode",
+    "mutual_information_bits",
+    "percentile",
+    "render_markdown",
     "split_by_bit",
     "summarize_latencies",
+    "welch_t_from_summary",
+    "welch_t_stat",
+    "wilson_interval",
+    "write_run_report",
 ]

@@ -6,6 +6,19 @@ import os
 from typing import Dict, List, Optional, Sequence
 
 
+def format_markdown_table(headers: Sequence[str],
+                          rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table (used by run reports)."""
+    def cell(value: object) -> str:
+        return str(value).replace("|", "\\|")
+
+    lines = ["| " + " | ".join(cell(h) for h in headers) + " |",
+             "| " + " | ".join("---" for _ in headers) + " |"]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
                  title: Optional[str] = None) -> str:
     """Render an aligned ASCII table."""

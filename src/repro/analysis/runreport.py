@@ -1,0 +1,208 @@
+"""Run reports: one markdown + JSON document per sweep.
+
+``repro report <experiment>`` runs a sweep with per-point metrics (and
+optionally traces) enabled, then calls :func:`collect_run_report` to join
+three artifact streams by point label:
+
+- the sweep **payloads** (the figure numbers themselves),
+- the per-point **metrics** files ``run_sweep(metrics_dir=...)`` wrote
+  (counters, histograms, phase profiles),
+- optional **trace summaries** from the matching Chrome-trace files.
+
+The joined report is written to ``reports/<experiment>.json`` (machine
+consumers) and ``reports/<experiment>.md`` (humans), the markdown built
+from :func:`repro.analysis.report.format_markdown_table`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_markdown_table
+
+#: Quality columns rendered for payloads shaped like ``fig8_quality_point``
+#: output (``{"attacks": {name: {metric: value}}}``).
+_QUALITY_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("throughput_mbps", "Mb/s"),
+    ("ber", "BER"),
+    ("ber_ci95", "BER 95% CI"),
+    ("mutual_information_bits", "MI (bits)"),
+    ("capacity_mbps", "Capacity Mb/s"),
+    ("leakage_t", "Leakage t"),
+    ("leaks", "Leaks"),
+    ("eye_gap", "Eye gap"),
+)
+
+
+def _fmt(value: Any) -> str:
+    """Human-friendly cell formatting (floats shortened, lists joined)."""
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_fmt(v) for v in value) + "]"
+    return str(value)
+
+
+def collect_run_report(experiment: str, points: Sequence[Any],
+                       outcome: Any,
+                       metrics_dir: Optional[str] = None,
+                       trace_dir: Optional[str] = None) -> Dict[str, Any]:
+    """Join sweep payloads with per-point metrics/trace artifacts.
+
+    ``points`` and ``outcome`` are the exact arguments/return of the
+    :func:`repro.exp.run_sweep` call that produced the artifacts — the
+    join key is each point's :func:`repro.exp.point_slug`, which is also
+    how the runner named the files.
+    """
+    from repro.exp import code_version, metrics_path, point_slug
+    from repro.obs import MetricsRegistry, summarize_chrome_trace
+
+    entries: List[Dict[str, Any]] = []
+    metric_dicts: List[Dict[str, Any]] = []
+    for point, payload in zip(points, outcome.results):
+        entry: Dict[str, Any] = {
+            "label": point.describe(),
+            "slug": point_slug(point),
+            "params": dict(point.params),
+            "payload": payload,
+            "metrics": None,
+            "trace_summary": None,
+        }
+        if metrics_dir:
+            path = metrics_path(metrics_dir, point)
+            if os.path.exists(path):
+                with open(path, encoding="utf-8") as fh:
+                    entry["metrics"] = json.load(fh)
+                metric_dicts.append(entry["metrics"])
+        if trace_dir:
+            path = os.path.join(trace_dir,
+                                f"{point_slug(point)}.trace.json")
+            if os.path.exists(path):
+                entry["trace_summary"] = summarize_chrome_trace(path)
+        entries.append(entry)
+
+    return {
+        "experiment": experiment,
+        "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "code_version": code_version(),
+        "jobs": outcome.jobs,
+        "parallel": outcome.parallel,
+        "elapsed_seconds": round(outcome.elapsed_seconds, 3),
+        "points": entries,
+        "totals": (MetricsRegistry.merge_dicts(metric_dicts)
+                   if metric_dicts else None),
+    }
+
+
+def _quality_section(payload: Dict[str, Any]) -> List[str]:
+    """Markdown for a ``{"attacks": {...}}`` quality payload."""
+    rows = []
+    for attack, metrics in payload["attacks"].items():
+        rows.append([attack] + [_fmt(metrics.get(key))
+                                for key, _ in _QUALITY_COLUMNS])
+    headers = ["Attack"] + [title for _, title in _QUALITY_COLUMNS]
+    return [format_markdown_table(headers, rows), ""]
+
+
+def _scalar_section(payload: Dict[str, Any]) -> List[str]:
+    """Markdown key/value table for a flat payload."""
+    rows = [[key, _fmt(value)] for key, value in payload.items()
+            if not isinstance(value, dict)]
+    if not rows:
+        return []
+    return [format_markdown_table(["Field", "Value"], rows), ""]
+
+
+def _phases_section(phases: Dict[str, Dict[str, Any]]) -> List[str]:
+    rows = [[name, entry.get("calls", 0), _fmt(entry.get("seconds")),
+             entry.get("ops", 0), _fmt(entry.get("ops_per_sec"))]
+            for name, entry in sorted(phases.items())]
+    return ["**Phase profile**", "",
+            format_markdown_table(
+                ["Phase", "Calls", "Seconds", "Ops", "Ops/s"], rows),
+            ""]
+
+
+def _counters_section(counters: Dict[str, int]) -> List[str]:
+    rows = [[name, value] for name, value in sorted(counters.items())]
+    return ["**Event counters**", "",
+            format_markdown_table(["Counter", "Count"], rows), ""]
+
+
+def _trace_section(summary: Dict[str, Any]) -> List[str]:
+    span = summary.get("span_cycles") or [0, 0]
+    lines = ["**Trace summary** — "
+             f"{summary.get('events', 0)} events, cycles "
+             f"{_fmt(span[0])}–{_fmt(span[1])}", ""]
+    per_requestor = summary.get("per_requestor") or {}
+    if per_requestor:
+        rows = [[name, stats.get("events", 0), stats.get("operations", 0),
+                 _fmt(stats.get("busy_cycles")),
+                 _fmt(stats.get("queue_cycles")),
+                 stats.get("hits", 0), stats.get("conflicts", 0)]
+                for name, stats in sorted(per_requestor.items())]
+        lines += [format_markdown_table(
+            ["Requestor", "Events", "Ops", "Busy cyc", "Queue cyc",
+             "Hits", "Conflicts"], rows), ""]
+    return lines
+
+
+def render_markdown(report: Dict[str, Any]) -> str:
+    """The human-readable face of :func:`collect_run_report`'s output."""
+    lines: List[str] = [
+        f"# Run report: {report['experiment']}",
+        "",
+        f"- generated: {report['generated']}",
+        f"- code version: `{report['code_version']}`",
+        f"- jobs: {report['jobs']} "
+        f"({'parallel' if report['parallel'] else 'serial'})",
+        f"- elapsed: {report['elapsed_seconds']} s",
+        "",
+    ]
+    for entry in report["points"]:
+        lines += [f"## {entry['label']}", ""]
+        payload = entry.get("payload")
+        if isinstance(payload, dict):
+            if isinstance(payload.get("attacks"), dict):
+                lines += _quality_section(payload)
+            else:
+                lines += _scalar_section(payload)
+        metrics = entry.get("metrics")
+        if metrics:
+            if metrics.get("phases"):
+                lines += _phases_section(metrics["phases"])
+            if metrics.get("counters"):
+                lines += _counters_section(metrics["counters"])
+        if entry.get("trace_summary"):
+            lines += _trace_section(entry["trace_summary"])
+    totals = report.get("totals")
+    if totals:
+        lines += ["## Sweep totals", ""]
+        if totals.get("phases"):
+            lines += _phases_section(totals["phases"])
+        if totals.get("counters"):
+            lines += _counters_section(totals["counters"])
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def write_run_report(report: Dict[str, Any],
+                     out_dir: str = "reports") -> Tuple[str, str]:
+    """Write ``<experiment>.md`` + ``<experiment>.json`` under ``out_dir``;
+    returns ``(markdown_path, json_path)``."""
+    os.makedirs(out_dir, exist_ok=True)
+    base = os.path.join(out_dir, report["experiment"])
+    json_path = base + ".json"
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    md_path = base + ".md"
+    with open(md_path, "w", encoding="utf-8") as fh:
+        fh.write(render_markdown(report))
+    return md_path, json_path

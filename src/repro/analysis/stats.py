@@ -1,10 +1,23 @@
-"""Latency statistics used by the PoC validation and benches."""
+"""Shared statistics primitives: latency summaries, percentiles, and
+Welch's t-test.
+
+This module is the single home for percentile math (``percentile`` /
+``_percentile``) and for the Welch t-statistic — the workload trace
+profiler, the channel-quality analyzers (:mod:`repro.analysis.quality`),
+and the cache-monitor detector (:mod:`repro.detection`) all route through
+it rather than carrying private copies.
+"""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
+
+#: Variance attributed to a cycle-resolution timer's quantization
+#: (uniform over one cycle): keeps Welch's t finite when a deterministic
+#: simulation produces zero-variance samples.
+TIMER_QUANTIZATION_VARIANCE = 1.0 / 12.0
 
 
 @dataclass(frozen=True)
@@ -24,8 +37,14 @@ class LatencyStats:
                 f"min={self.minimum} p50={self.p50:.0f} p95={self.p95:.0f} "
                 f"max={self.maximum}")
 
+    def to_dict(self) -> dict:
+        return {"count": self.count, "mean": self.mean, "stdev": self.stdev,
+                "min": self.minimum, "max": self.maximum,
+                "p50": self.p50, "p95": self.p95}
+
 
 def _percentile(ordered: Sequence[int], fraction: float) -> float:
+    """Linear-interpolation percentile of an already *sorted* sample."""
     if not ordered:
         raise ValueError("empty sample")
     if len(ordered) == 1:
@@ -37,8 +56,23 @@ def _percentile(ordered: Sequence[int], fraction: float) -> float:
     return ordered[lo] * (1 - weight) + ordered[hi] * weight
 
 
+def percentile(values: Sequence[int], fraction: float) -> float:
+    """Linear-interpolation percentile of an unsorted sample.
+
+    The one percentile implementation in the repo — callers holding a
+    pre-sorted sample may use :func:`_percentile` directly.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    return _percentile(sorted(values), fraction)
+
+
 def summarize_latencies(latencies: Sequence[int]) -> LatencyStats:
-    """Descriptive statistics of a latency sample (cycles)."""
+    """Descriptive statistics of a latency sample (cycles).
+
+    A single-element sample is legal (stdev 0, every percentile equal to
+    the value); an empty sample raises ``ValueError``.
+    """
     if not latencies:
         raise ValueError("empty latency sample")
     ordered = sorted(latencies)
@@ -59,3 +93,60 @@ def split_by_bit(latencies: Sequence[int],
     zeros = [lat for lat, bit in zip(latencies, bits) if bit == 0]
     ones = [lat for lat, bit in zip(latencies, bits) if bit == 1]
     return zeros, ones
+
+
+# ---------------------------------------------------------------------------
+# Welch's t-test (TVLA-style leakage scoring, detector anomaly scoring)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WelchT:
+    """Welch's t-statistic with its Welch–Satterthwaite degrees of
+    freedom; the TVLA convention flags |t| > 4.5 as leakage."""
+
+    t: float
+    dof: float
+    n_a: int
+    n_b: int
+
+
+def welch_t_from_summary(mean_a: float, var_a: float, n_a: int,
+                         mean_b: float, var_b: float, n_b: int,
+                         var_floor: float = 0.0) -> float:
+    """Welch's t from summary statistics (means, variances, counts).
+
+    ``var_floor`` bounds each sample's variance from below — pass
+    :data:`TIMER_QUANTIZATION_VARIANCE` for cycle-quantized timings so a
+    deterministic simulation (zero measured variance) yields a large but
+    finite, JSON-able score instead of infinity.
+    """
+    if n_a < 1 or n_b < 1:
+        return 0.0
+    se2 = max(var_a, var_floor) / n_a + max(var_b, var_floor) / n_b
+    if se2 <= 0.0:
+        return 0.0
+    return (mean_a - mean_b) / math.sqrt(se2)
+
+
+def welch_t_stat(sample_a: Sequence[float],
+                 sample_b: Sequence[float]) -> WelchT:
+    """Welch's two-sample t-test over raw samples.
+
+    Sample variances use Bessel's correction; the cycle-quantization
+    variance floor keeps the statistic finite for deterministic samples.
+    Fewer than two observations on either side scores 0 (no evidence).
+    """
+    n_a, n_b = len(sample_a), len(sample_b)
+    if n_a < 2 or n_b < 2:
+        return WelchT(t=0.0, dof=0.0, n_a=n_a, n_b=n_b)
+    mean_a = sum(sample_a) / n_a
+    mean_b = sum(sample_b) / n_b
+    var_a = sum((x - mean_a) ** 2 for x in sample_a) / (n_a - 1)
+    var_b = sum((x - mean_b) ** 2 for x in sample_b) / (n_b - 1)
+    t = welch_t_from_summary(mean_a, var_a, n_a, mean_b, var_b, n_b,
+                             var_floor=TIMER_QUANTIZATION_VARIANCE)
+    fa = max(var_a, TIMER_QUANTIZATION_VARIANCE) / n_a
+    fb = max(var_b, TIMER_QUANTIZATION_VARIANCE) / n_b
+    dof = (fa + fb) ** 2 / (fa ** 2 / (n_a - 1) + fb ** 2 / (n_b - 1))
+    return WelchT(t=t, dof=dof, n_a=n_a, n_b=n_b)

@@ -12,9 +12,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
+from repro.obs import metrics_phase
 from repro.system import System
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.quality import ChannelQuality
 
 #: Decode threshold from Fig. 7: latencies above => row-buffer conflict
 #: => logic-1; below => hit => logic-0.
@@ -105,6 +109,18 @@ class ChannelResult:
                 f"(raw {self.raw_throughput_mbps:.2f}), "
                 f"error rate {self.error_rate:.2%}")
 
+    def quality(self, threshold_cycles: int = DEFAULT_THRESHOLD_CYCLES
+                ) -> "ChannelQuality":
+        """Channel-quality analytics for this transmission: BER with a
+        Wilson confidence interval, a mutual-information capacity
+        estimate, the TVLA Welch-t leakage score, and eye-diagram
+        summaries (see :mod:`repro.analysis.quality`)."""
+        from repro.analysis.quality import channel_quality
+
+        return channel_quality(self.sent, self.received,
+                               self.probe_latencies, threshold_cycles,
+                               cycles=self.cycles, cpu_hz=self.cpu_hz)
+
 
 class CovertChannel:
     """Base class for the §5 covert channels.
@@ -132,8 +148,16 @@ class CovertChannel:
         raise NotImplementedError
 
     def transmit_random(self, bits: int, seed: int = 0) -> ChannelResult:
-        """Send a reproducible random message of ``bits`` bits."""
-        return self.transmit(random_bits(bits, seed))
+        """Send a reproducible random message of ``bits`` bits.
+
+        When a metrics registry is installed the whole transmission is
+        profiled as phase ``transmit:<attack>`` with bits as its ops.
+        """
+        message = random_bits(bits, seed)
+        with metrics_phase(f"transmit:{self.name}") as span:
+            result = self.transmit(message)
+            span.add_ops(len(message))
+        return result
 
     # ------------------------------------------------------------------
     # Shared helpers
@@ -155,7 +179,19 @@ class CovertChannel:
     def make_result(self, sent: Sequence[int], received: Sequence[int],
                     cycles: int,
                     probe_latencies: Optional[List[int]] = None) -> ChannelResult:
-        return ChannelResult(attack=self.name, sent=list(sent),
-                             received=list(received), cycles=cycles,
-                             cpu_hz=self.system.cpu_hz,
-                             probe_latencies=probe_latencies or [])
+        result = ChannelResult(attack=self.name, sent=list(sent),
+                               received=list(received), cycles=cycles,
+                               cpu_hz=self.system.cpu_hz,
+                               probe_latencies=probe_latencies or [])
+        registry = self.system.metrics
+        if registry is not None:
+            registry.counter("channel.bits").inc(result.bits)
+            registry.counter("channel.bit_errors").inc(result.errors)
+            registry.counter(f"channel.transmissions.{self.name}").inc()
+            histogram = registry.histogram("channel.probe_latency")
+            for latency in result.probe_latencies:
+                histogram.observe(latency)
+            registry.gauge(
+                f"channel.{self.name}.throughput_mbps").set(
+                    result.throughput_mbps)
+        return result

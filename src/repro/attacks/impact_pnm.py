@@ -28,6 +28,7 @@ from repro.attacks.channel import (
     ChannelResult,
     CovertChannel,
 )
+from repro.obs import metrics_phase
 from repro.sim.scheduler import Barrier, Context, Scheduler, Semaphore
 from repro.system import System
 
@@ -93,7 +94,8 @@ class ImpactPnmChannel(CovertChannel):
     def transmit(self, bits: Sequence[int]) -> ChannelResult:
         message = self.check_bits(bits)
         system = self.system
-        system.warm_up(self._init_addrs + self._intf_addrs)
+        with metrics_phase("warm-up"):
+            system.warm_up(self._init_addrs + self._intf_addrs)
 
         sched = Scheduler()
         start_barrier = Barrier(parties=2, name="start")
@@ -159,9 +161,13 @@ class ImpactPnmChannel(CovertChannel):
 
         sched.spawn(sender, system, name="sender")
         sched.spawn(receiver, system, name="receiver")
-        sched.run()
+        with metrics_phase("transmit") as span:
+            sched.run()
+            span.add_ops(len(message))
         cycles = window["t1"] - window["t0"]
-        return self.make_result(message, received, cycles, probe_latencies)
+        with metrics_phase("decode"):
+            return self.make_result(message, received, cycles,
+                                    probe_latencies)
 
     # ------------------------------------------------------------------
     # Fig. 9 support

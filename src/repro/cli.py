@@ -143,10 +143,43 @@ def cmd_defenses(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_trace_summary(path: str) -> int:
+    """Summarize an existing Chrome-trace JSON (no re-run)."""
+    from repro.obs import summarize_chrome_trace
+
+    summary = summarize_chrome_trace(path)
+    span = summary["span_cycles"]
+    print(f"{path}: {summary['events']} events, "
+          f"cycles {span[0]}-{span[1]}")
+    counts = summary["counts"]
+    print("events: " + ", ".join(f"{name}={counts[name]}"
+                                 for name in sorted(counts)))
+    rows = [(name, m["events"], m["operations"], m["busy_cycles"],
+             m["queue_cycles"], m["hits"], m["conflicts"],
+             f"{m['first_cycle']}-{m['last_cycle']}")
+            for name, m in sorted(summary["per_requestor"].items())]
+    print(format_table(
+        ["requestor", "events", "ops", "busy cyc", "queue cyc", "hit",
+         "conf", "cycle span"],
+        rows, title="per-requestor activity"))
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run one experiment under the event tracer (``repro.obs``) and write
     a ``chrome://tracing`` / Perfetto-loadable JSON."""
+    import os
+
     from repro import obs
+
+    if args.summary:
+        path = args.out or f"{args.experiment}.trace.json"
+        if not os.path.exists(path):
+            print(f"no trace file at {path}; run "
+                  f"`repro trace {args.experiment}` first "
+                  f"(or pass --out)", file=sys.stderr)
+            return 2
+        return _print_trace_summary(path)
 
     config = _config(args)
     attack = "impact-pnm" if args.experiment == "fig7" else args.experiment
@@ -180,6 +213,41 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if system.sanitizer is not None:
         print(system.sanitizer.report())
     print(f"trace written to {out} (load in chrome://tracing or Perfetto)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run an experiment sweep with metrics enabled and write a joined
+    markdown + JSON run report to ``reports/``."""
+    import os
+    import tempfile
+
+    from repro.analysis.runreport import collect_run_report, write_run_report
+    from repro.exp import run_sweep
+    from repro.exp.figures import fig8_quality_sweep
+
+    points = fig8_quality_sweep(args.llc_mb, bits=args.bits,
+                                attacks=args.attacks)
+    with tempfile.TemporaryDirectory(prefix="repro-report-") as tmp:
+        metrics_dir = os.path.join(tmp, "metrics")
+        trace_dir = os.path.join(tmp, "trace") if args.trace else None
+        outcome = run_sweep(points, jobs=args.jobs,
+                            metrics_dir=metrics_dir, trace_dir=trace_dir)
+        report = collect_run_report(args.experiment, points, outcome,
+                                    metrics_dir=metrics_dir,
+                                    trace_dir=trace_dir)
+    md_path, json_path = write_run_report(report, out_dir=args.out_dir)
+    mode = "parallel" if outcome.parallel else "serial"
+    print(f"{args.experiment}: {len(points)} points in "
+          f"{outcome.elapsed_seconds:.1f}s ({mode}, jobs={outcome.jobs})")
+    for entry in report["points"]:
+        payload = entry["payload"] or {}
+        attacks = payload.get("attacks", {})
+        best = max((metrics.get("throughput_mbps", 0.0)
+                    for metrics in attacks.values()), default=0.0)
+        print(f"  {entry['label']}: {len(attacks)} channels, "
+              f"best {best:.2f} Mb/s")
+    print(f"report written to {md_path} and {json_path}")
     return 0
 
 
@@ -272,7 +340,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output path (default: <experiment>.trace.json)")
     p.add_argument("--sanitize", action="store_true",
                    help="also run the timing-invariant sanitizer")
+    p.add_argument("--summary", action="store_true",
+                   help="summarize an existing trace file (per-requestor "
+                        "event counts and cycle spans) without re-running")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "report",
+        help="run a sweep with metrics on and write a markdown+JSON "
+             "run report to reports/")
+    p.add_argument("experiment", choices=["fig8"],
+                   help="experiment to report on")
+    p.add_argument("--llc-mb", type=float, nargs="+", default=[8.0, 64.0],
+                   help="LLC sizes (MB) to sweep")
+    p.add_argument("--bits", type=int, default=128,
+                   help="message-length scale: attacks send their Fig. 8 "
+                        "lengths scaled by bits/512 (min 16)")
+    p.add_argument("--attacks", nargs="+", choices=sorted(ATTACKS),
+                   default=None,
+                   help="subset of channels (default: all seven)")
+    p.add_argument("--out-dir", default="reports", metavar="DIR")
+    p.add_argument("--trace", action="store_true",
+                   help="also capture per-point traces and fold their "
+                        "summaries into the report")
+    add_jobs(p)
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("recon", help="reverse-engineer the bank function")
     p.add_argument("--mapping", choices=["row", "line", "xor"], default="xor")

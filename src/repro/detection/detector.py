@@ -6,9 +6,12 @@ heuristics the cited systems use:
 
 - **flush storm** — cache-line flushes at a rate no benign workload
   sustains (the [63]-style clflush restriction's trigger),
-- **miss anomaly** — a miss *ratio* near 1.0 combined with a high miss
-  *rate* (misses per kilocycle), the NIGHTs-WATCH signature of eviction
-  and flush+reload behaviour.
+- **miss anomaly** — the process's miss ratio is *statistically*
+  distinguishable from the benign baseline: a Welch's t-test between the
+  observed Bernoulli miss distribution and a benign reference profile,
+  using the same TVLA |t| > 4.5 decision rule as the channel-quality
+  leakage score (:mod:`repro.analysis.quality`), gated by a minimum miss
+  *rate* (misses per kilocycle) so tiny hot loops don't trip it.
 
 Its blind spot is the point: a PiM attacker generates no cache events at
 all, so every counter the detector can read stays at zero.
@@ -19,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.analysis.stats import welch_t_from_summary
 from repro.cache.hierarchy import RequestorCacheStats
 from repro.system import System
 
@@ -29,16 +33,26 @@ class DetectorConfig:
 
     Defaults are deliberately aggressive — the paper's argument does not
     depend on tuning: IMPACT's counters are exactly zero.
+
+    ``benign_miss_ratio``/``benign_sample_accesses`` describe the benign
+    reference profile the miss-anomaly t-test compares against (a typical
+    ~5% LLC miss ratio measured over a large window);
+    ``leakage_t_threshold`` is the TVLA boundary shared with
+    :data:`repro.analysis.TVLA_T_THRESHOLD`.
     """
 
     flush_per_kilocycle_threshold: float = 0.5
-    miss_ratio_threshold: float = 0.7
     miss_per_kilocycle_threshold: float = 1.0
+    benign_miss_ratio: float = 0.05
+    benign_sample_accesses: int = 10_000
+    leakage_t_threshold: float = 4.5
     min_events: int = 16
 
     def __post_init__(self) -> None:
         if self.min_events < 1:
             raise ValueError("min_events must be >= 1")
+        if not 0.0 <= self.benign_miss_ratio < 1.0:
+            raise ValueError("benign_miss_ratio must be in [0, 1)")
 
 
 @dataclass
@@ -54,6 +68,7 @@ class DetectionReport:
     miss_per_kilocycle: float
     flagged: bool
     reason: str
+    miss_t_score: float = 0.0
 
     def row(self) -> Dict[str, object]:
         return {
@@ -82,21 +97,30 @@ class CacheMonitorDetector:
         flagged = False
         reason = "clean"
         total_events = stats.accesses + stats.clflushes
+        # Welch's t between the observed Bernoulli miss distribution and
+        # the benign reference profile — the same statistic (and |t|>4.5
+        # rule) the channel-quality leakage score uses.
+        p, q = stats.miss_ratio, cfg.benign_miss_ratio
+        miss_t = welch_t_from_summary(
+            p, p * (1.0 - p), stats.accesses,
+            q, q * (1.0 - q), cfg.benign_sample_accesses)
         if total_events < cfg.min_events:
             reason = "no cache activity" if total_events == 0 else "too quiet"
         elif flush_rate > cfg.flush_per_kilocycle_threshold:
             flagged = True
             reason = f"flush storm ({flush_rate:.2f} clflush/kc)"
-        elif (stats.miss_ratio > cfg.miss_ratio_threshold
+        elif (miss_t > cfg.leakage_t_threshold
+              and stats.miss_ratio > cfg.benign_miss_ratio
               and miss_rate > cfg.miss_per_kilocycle_threshold):
             flagged = True
             reason = (f"miss anomaly (ratio {stats.miss_ratio:.2f}, "
-                      f"{miss_rate:.2f} misses/kc)")
+                      f"{miss_rate:.2f} misses/kc, t={miss_t:.1f})")
         return DetectionReport(
             requestor=requestor, accesses=stats.accesses,
             llc_misses=stats.llc_misses, clflushes=stats.clflushes,
             miss_ratio=stats.miss_ratio, flush_per_kilocycle=flush_rate,
-            miss_per_kilocycle=miss_rate, flagged=flagged, reason=reason)
+            miss_per_kilocycle=miss_rate, flagged=flagged, reason=reason,
+            miss_t_score=miss_t)
 
     def scan(self, system: System,
              requestors: Optional[List[str]] = None) -> Dict[str, DetectionReport]:

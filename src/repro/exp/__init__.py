@@ -21,7 +21,13 @@ Usage::
 """
 
 from repro.exp.cache import MISSING, ResultCache, code_version
-from repro.exp.runner import SweepOutcome, default_jobs, run_sweep
+from repro.exp.runner import (
+    SweepOutcome,
+    default_jobs,
+    metrics_path,
+    point_slug,
+    run_sweep,
+)
 from repro.exp.sweep import SweepPoint, sweep_points
 
 __all__ = [
@@ -31,6 +37,8 @@ __all__ = [
     "SweepPoint",
     "code_version",
     "default_jobs",
+    "metrics_path",
+    "point_slug",
     "run_sweep",
     "sweep_points",
 ]

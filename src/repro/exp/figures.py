@@ -82,6 +82,78 @@ def fig8_point(llc_mb: float) -> Dict[str, float]:
     return point
 
 
+#: Per-attack message lengths of the canonical Fig. 8 point; quality
+#: points scale these down proportionally for quick report runs.
+_FIG8_BITS = {
+    "drama-eviction": 64,
+    "drama-clflush": 192,
+    "streamline": 192,
+    "dma": 384,
+    "pnm-offchip": 512,
+    "impact-pnm": 512,
+    "impact-pum": 512,
+}
+
+_FIG8_NAMES = {
+    "drama-eviction": "DRAMA-eviction",
+    "drama-clflush": "DRAMA-clflush",
+    "streamline": "Streamline",
+    "dma": "DMA-engine",
+    "pnm-offchip": "PnM-OffChip",
+    "impact-pnm": "IMPACT-PnM",
+    "impact-pum": "IMPACT-PuM",
+}
+
+
+def fig8_quality_point(llc_mb: float, bits: int = 128,
+                       attacks: Optional[List[str]] = None) -> Dict[str, Any]:
+    """One Fig. 8 point with full channel-quality analytics per attack.
+
+    Runs the same seven channels as :func:`fig8_point` (or the subset
+    named in ``attacks``, CLI keys like ``"impact-pnm"``), with message
+    lengths scaled so ``bits`` plays the role the canonical point's 512
+    does, and returns per-attack throughput *plus* BER with Wilson CI,
+    mutual-information capacity, TVLA leakage t-score, and eye-diagram
+    summaries — the payload ``repro report`` renders.
+    """
+    from repro.attacks import streamline_upper_bound_mbps
+    from repro.cli import ATTACKS
+
+    names = list(_FIG8_BITS) if attacks is None else list(attacks)
+    unknown = [n for n in names if n not in _FIG8_BITS]
+    if unknown:
+        raise ValueError(f"unknown attack(s): {unknown}")
+    base = SystemConfig.paper_default().with_llc(float(llc_mb))
+    out: Dict[str, Any] = {"llc_mb": float(llc_mb), "bits": int(bits),
+                           "attacks": {}}
+    for cli_name in names:
+        config = (replace(base, mapping="xor")
+                  if cli_name == "drama-eviction" else base)
+        message_bits = max(16, _FIG8_BITS[cli_name] * int(bits) // 512)
+        channel = ATTACKS[cli_name](System(config))
+        result = channel.transmit_random(message_bits, seed=1)
+        quality = result.quality(channel.threshold_cycles)
+        out["attacks"][_FIG8_NAMES[cli_name]] = {
+            "throughput_mbps": result.throughput_mbps,
+            "raw_throughput_mbps": result.raw_throughput_mbps,
+            "cycles_per_bit": result.cycles_per_bit,
+            **quality.to_dict(),
+        }
+    if attacks is None or "streamline" in names:
+        out["attacks"]["Streamline-bound"] = {
+            "throughput_mbps": streamline_upper_bound_mbps(System(base))}
+    return out
+
+
+def fig8_quality_sweep(sizes_mb=(8, 64), bits: int = 128,
+                       attacks: Optional[List[str]] = None):
+    from repro.exp.sweep import sweep_points
+
+    return sweep_points("fig8", fig8_quality_point, "llc_mb",
+                        [float(s) for s in sizes_mb], bits=bits,
+                        attacks=list(attacks) if attacks else None)
+
+
 # ---------------------------------------------------------------------------
 # Fig. 10 — read-mapping side channel vs bank count
 # ---------------------------------------------------------------------------

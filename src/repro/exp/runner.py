@@ -12,11 +12,15 @@ an environment where worker processes cannot be spawned (sandboxes without
 semaphores, exotic interpreters) all fall back to in-process serial
 execution of the exact same point functions.
 
-Tracing survives the fan-out: when ``REPRO_TRACE_DIR`` is set (directly,
-or via ``run_sweep(trace_dir=...)``, which exports it around the sweep so
-forked workers inherit it), every point — serial or in a worker process —
-runs under a fresh :class:`repro.obs.Tracer` and writes its Chrome-trace
-JSON into that directory, named after the point's label.
+Observability survives the fan-out: when ``REPRO_TRACE_DIR`` /
+``REPRO_METRICS_DIR`` are set (directly, or via
+``run_sweep(trace_dir=..., metrics_dir=...)``, which exports them around
+the sweep so forked workers inherit them), every point — serial or in a
+worker process — runs under a fresh :class:`repro.obs.Tracer` and/or
+:class:`repro.obs.MetricsRegistry` and writes its Chrome-trace / metrics
+JSON into those directories, named after the point's label (see
+:func:`point_slug`).  ``repro report`` joins these files with the sweep
+payloads into one run report.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ from typing import Any, Iterator, List, Optional, Sequence
 from repro import obs
 from repro.exp.cache import ResultCache
 from repro.exp.sweep import SweepPoint
+from repro.obs import metrics as obs_metrics
 
 
 def default_jobs() -> int:
@@ -65,33 +70,63 @@ class SweepOutcome:
         return self.results[index]
 
 
-def _trace_path(trace_dir: str, point: SweepPoint) -> str:
+def point_slug(point: SweepPoint) -> str:
+    """Filesystem-safe name for a point's per-point artifacts (trace and
+    metrics files share it, so reports can join them by label)."""
     slug = re.sub(r"[^A-Za-z0-9._=-]+", "_", point.describe()).strip("_")
-    return os.path.join(trace_dir, f"{slug[:120] or 'point'}.trace.json")
+    return slug[:120] or "point"
+
+
+def _trace_path(trace_dir: str, point: SweepPoint) -> str:
+    return os.path.join(trace_dir, f"{point_slug(point)}.trace.json")
+
+
+def metrics_path(metrics_dir: str, point: SweepPoint) -> str:
+    """Where a point's metrics JSON lands under ``metrics_dir``."""
+    return os.path.join(metrics_dir, f"{point_slug(point)}.metrics.json")
 
 
 def _run_point(point: SweepPoint) -> Any:
     trace_dir = os.environ.get("REPRO_TRACE_DIR")
-    if not trace_dir:
+    metrics_dir = os.environ.get("REPRO_METRICS_DIR")
+    if not trace_dir and not metrics_dir:
         return point.run()
-    # Per-point tracer, installed process-globally so the Systems and
-    # schedulers the point builds internally pick it up.  Works identically
-    # in the parent (serial path) and in forked workers, which inherit the
-    # environment variable.
-    os.makedirs(trace_dir, exist_ok=True)
-    tracer = obs.Tracer()
-    previous = obs.current_observer()
-    obs.install(tracer)
+    # Per-point tracer/metrics registry, installed process-globally so the
+    # Systems and schedulers the point builds internally pick them up.
+    # Works identically in the parent (serial path) and in forked workers,
+    # which inherit the environment variables.
+    tracer = None
+    previous_observer = obs.current_observer()
+    if trace_dir:
+        os.makedirs(trace_dir, exist_ok=True)
+        tracer = obs.Tracer()
+        obs.install(tracer)
+    registry = None
+    previous_registry = obs_metrics.current()
+    if metrics_dir:
+        os.makedirs(metrics_dir, exist_ok=True)
+        registry = obs_metrics.install(obs_metrics.MetricsRegistry())
     try:
+        if registry is not None:
+            with registry.profiler.phase("point"):
+                return point.run()
         return point.run()
     finally:
-        if previous is not None:
-            obs.install(previous)
-        else:
-            obs.uninstall()
-        # Written even when the point raises — a partial trace is exactly
-        # what debugging a failed point needs.
-        tracer.write_chrome(_trace_path(trace_dir, point))
+        if tracer is not None:
+            if previous_observer is not None:
+                obs.install(previous_observer)
+            else:
+                obs.uninstall()
+            # Written even when the point raises — a partial trace is
+            # exactly what debugging a failed point needs.
+            tracer.write_chrome(_trace_path(trace_dir, point))
+        if registry is not None:
+            if previous_registry is not None:
+                obs_metrics.install(previous_registry)
+            else:
+                obs_metrics.uninstall()
+            registry.write_json(metrics_path(metrics_dir, point),
+                                extra={"label": point.describe()})
 
 
 def _run_serial(points: Sequence[SweepPoint]) -> List[Any]:
@@ -116,7 +151,8 @@ def _run_parallel(points: Sequence[SweepPoint], jobs: int) -> List[Any]:
 
 def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
               cache: Optional[ResultCache] = None,
-              trace_dir: Optional[str] = None) -> SweepOutcome:
+              trace_dir: Optional[str] = None,
+              metrics_dir: Optional[str] = None) -> SweepOutcome:
     """Run every point, in parallel when possible, and return a
     :class:`SweepOutcome` whose ``results`` align with ``points``.
 
@@ -130,18 +166,29 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
             JSON into this directory (exported as ``REPRO_TRACE_DIR`` for
             the duration of the sweep so worker processes see it too).
             Cached points are not re-traced.
+        metrics_dir: when given, every executed point runs under a fresh
+            :class:`repro.obs.MetricsRegistry` and writes its metrics
+            JSON (counters, histograms, phase profile) into this
+            directory, keyed like the trace files (exported as
+            ``REPRO_METRICS_DIR``).  Cached points are not re-measured.
     """
     started = time.perf_counter()
+    overlay = {}
     if trace_dir is not None:
-        saved_trace = os.environ.get("REPRO_TRACE_DIR")
-        os.environ["REPRO_TRACE_DIR"] = trace_dir
+        overlay["REPRO_TRACE_DIR"] = trace_dir
+    if metrics_dir is not None:
+        overlay["REPRO_METRICS_DIR"] = metrics_dir
+    if overlay:
+        saved = {key: os.environ.get(key) for key in overlay}
+        os.environ.update(overlay)
         try:
             outcome = run_sweep(points, jobs=jobs, cache=cache)
         finally:
-            if saved_trace is None:
-                os.environ.pop("REPRO_TRACE_DIR", None)
-            else:
-                os.environ["REPRO_TRACE_DIR"] = saved_trace
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
         outcome.elapsed_seconds = time.perf_counter() - started
         return outcome
     jobs = default_jobs() if jobs is None else max(1, int(jobs))

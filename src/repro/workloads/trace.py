@@ -15,6 +15,7 @@ from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.analysis.stats import percentile as _percentile
 from repro.dram.address import AddressMapping, DRAMGeometry, make_mapping
 from repro.workloads.kernels import MemoryRef
 
@@ -108,11 +109,9 @@ def profile_trace(refs: Sequence[MemoryRef],
             stack.popitem(last=False)
         lines_seen[line] = lines_seen.get(line, 0) + 1
     def percentile(values: List[int], fraction: float) -> Optional[float]:
-        if not values:
-            return None
-        ordered = sorted(values)
-        index = min(len(ordered) - 1, int(fraction * len(ordered)))
-        return float(ordered[index])
+        # Shared interpolated percentile (repro.analysis.stats); empty
+        # reuse-distance samples stay None rather than raising.
+        return _percentile(values, fraction) if values else None
     return TraceProfile(
         refs=len(refs),
         writes=writes,

@@ -62,6 +62,44 @@ def test_format_table_alignment():
     assert len({len(line) for line in lines[1:]}) <= 2  # aligned rows
 
 
+def test_format_table_empty_rows():
+    text = format_table(["col_a", "col_b"], [])
+    lines = text.splitlines()
+    assert lines[0].split(" | ") == ["col_a", "col_b"]
+    assert len(lines) == 2  # header + rule, nothing else
+
+
+def test_format_table_mixed_types_align():
+    text = format_table(["name", "value"],
+                        [["x", 1], ["longer-name", 2.5], ["y", None]])
+    lines = text.splitlines()
+    assert len({len(line) for line in lines}) == 1  # all lines same width
+    assert "None" in lines[-1]
+    assert "2.5" in text
+
+
+def test_format_markdown_table_escapes_pipes():
+    from repro.analysis import format_markdown_table
+    text = format_markdown_table(["h1", "h2"], [["a|b", 1]])
+    lines = text.splitlines()
+    assert lines[0] == "| h1 | h2 |"
+    assert lines[1] == "| --- | --- |"
+    assert "a\\|b" in lines[2]
+
+
+def test_format_markdown_table_empty_rows():
+    from repro.analysis import format_markdown_table
+    assert format_markdown_table(["x"], []).splitlines() == ["| x |",
+                                                            "| --- |"]
+
+
+def test_result_table_empty_emit(tmp_path):
+    table = ResultTable("empty", ["a", "b"], output_dir=str(tmp_path))
+    text = table.emit()
+    assert "a" in text
+    assert (tmp_path / "empty.txt").exists()
+
+
 def test_result_table_row_validation(tmp_path):
     table = ResultTable("t", ["x", "y"], output_dir=str(tmp_path))
     table.add(1, 2)

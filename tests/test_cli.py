@@ -60,3 +60,57 @@ def test_defenses_command_security_only(capsys):
     out = capsys.readouterr().out
     assert "mpr" in out
     assert "eliminated" in out
+
+
+def test_report_command_writes_markdown_and_json(tmp_path, capsys):
+    import json
+
+    assert main(["report", "fig8", "--llc-mb", "8", "--bits", "64",
+                 "--attacks", "impact-pnm", "impact-pum", "--jobs", "1",
+                 "--out-dir", str(tmp_path), "--trace"]) == 0
+    out = capsys.readouterr().out
+    assert "report written" in out
+
+    md = (tmp_path / "fig8.md").read_text()
+    assert "# Run report: fig8" in md
+    assert "IMPACT-PnM" in md and "IMPACT-PuM" in md
+    for column in ("BER 95% CI", "Capacity Mb/s", "Leakage t"):
+        assert column in md
+    assert "Phase profile" in md
+    assert "Trace summary" in md
+
+    report = json.loads((tmp_path / "fig8.json").read_text())
+    assert report["experiment"] == "fig8"
+    point = report["points"][0]
+    quality = point["payload"]["attacks"]["IMPACT-PnM"]
+    for key in ("throughput_mbps", "ber", "ber_ci95", "capacity_mbps",
+                "leakage_t", "eye_gap"):
+        assert key in quality
+    assert point["metrics"]["counters"]["channel.bits"] > 0
+    assert "transmit:IMPACT-PnM" in point["metrics"]["phases"]
+    assert point["trace_summary"]["events"] > 0
+    assert report["totals"]["counters"]["dram.RD"] > 0
+
+
+def test_report_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["report", "fig99"])
+
+
+def test_trace_summary_of_existing_file(tmp_path, capsys):
+    out_path = str(tmp_path / "t.trace.json")
+    assert main(["trace", "impact-pnm", "--bits", "16",
+                 "--out", out_path]) == 0
+    capsys.readouterr()
+    assert main(["trace", "impact-pnm", "--summary",
+                 "--out", out_path]) == 0
+    out = capsys.readouterr().out
+    assert "events" in out
+    assert "receiver" in out and "sender" in out
+    assert "cycle span" in out
+
+
+def test_trace_summary_missing_file(tmp_path, capsys):
+    assert main(["trace", "impact-pnm", "--summary",
+                 "--out", str(tmp_path / "absent.json")]) == 2
+    assert "no trace file" in capsys.readouterr().err

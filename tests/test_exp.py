@@ -10,6 +10,8 @@ from repro.exp import (
     SweepPoint,
     code_version,
     default_jobs,
+    metrics_path,
+    point_slug,
     run_sweep,
     sweep_points,
 )
@@ -158,6 +160,33 @@ class TestRunSweep:
     def test_failing_point_propagates_serially(self):
         with pytest.raises(RuntimeError, match="boom"):
             run_sweep([SweepPoint("exp", failing_point)], jobs=1)
+
+
+class TestMetricsDir:
+    def test_point_slug_is_filesystem_safe(self):
+        point = SweepPoint("exp", counting_point,
+                           params={"value": 1}, label="fig8[llc_mb=8.0]")
+        slug = point_slug(point)
+        assert "/" not in slug and " " not in slug
+        assert metrics_path("m", point).endswith(f"{slug}.metrics.json")
+
+    def test_run_sweep_writes_per_point_metrics(self, tmp_path):
+        points = sweep_points("exp", counting_point, "value", [1, 2])
+        outcome = run_sweep(points, jobs=1, metrics_dir=str(tmp_path))
+        assert len(outcome) == 2
+        for point in points:
+            data = json.loads(Path(metrics_path(str(tmp_path),
+                                                point)).read_text())
+            assert data["label"] == point.describe()
+            # Every executed point is profiled, even a trivial one.
+            assert data["phases"]["point"]["calls"] == 1
+
+    def test_metrics_env_is_restored(self, tmp_path):
+        import os
+        assert "REPRO_METRICS_DIR" not in os.environ
+        run_sweep(sweep_points("exp", counting_point, "value", [1]),
+                  jobs=1, metrics_dir=str(tmp_path))
+        assert "REPRO_METRICS_DIR" not in os.environ
 
 
 class TestParallelEqualsSerial:

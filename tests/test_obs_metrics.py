@@ -1,0 +1,184 @@
+"""Tests for the metrics registry and phase profiler (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro import System, SystemConfig
+from repro.attacks import ImpactPnmChannel
+from repro.obs import metrics as m
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_PHASE,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_registry():
+    """Every test starts and ends with no global registry installed."""
+    m.uninstall()
+    yield
+    m.uninstall()
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+# ---------------------------------------------------------------------------
+
+def test_counter_and_gauge_mechanics():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    reg.counter("c").inc(4)
+    assert reg.counter("c").value == 5
+    reg.gauge("g").set(3.0)
+    reg.gauge("g").update_max(2.0)  # smaller: ignored
+    reg.gauge("g").update_max(7.0)
+    assert reg.gauge("g").value == 7.0
+
+
+def test_histogram_buckets_and_summary():
+    h = Histogram("h", edges=(10, 20, 30))
+    for value in (5, 10, 11, 25, 999):
+        h.observe(value)
+    # <=10, <=20, <=30, overflow
+    assert h.counts == [2, 1, 1, 1]
+    assert h.count == 5
+    assert h.minimum == 5 and h.maximum == 999
+    assert h.mean == pytest.approx(210.0)
+    d = h.to_dict()
+    assert d["edges"] == [10, 20, 30]
+    assert d["counts"] == [2, 1, 1, 1]
+
+
+def test_histogram_rejects_unsorted_edges():
+    with pytest.raises(ValueError):
+        Histogram("h", edges=(3, 1, 2))
+    with pytest.raises(ValueError):
+        Histogram("h", edges=())
+
+
+def test_registry_creates_instruments_once():
+    reg = MetricsRegistry()
+    assert reg.counter("x") is reg.counter("x")
+    assert reg.gauge("y") is reg.gauge("y")
+    assert reg.histogram("z") is reg.histogram("z")
+    assert reg.histogram("z").edges == tuple(DEFAULT_LATENCY_BUCKETS)
+
+
+# ---------------------------------------------------------------------------
+# Phase profiler
+# ---------------------------------------------------------------------------
+
+def test_profiler_accumulates_and_reports_ops_per_sec():
+    reg = MetricsRegistry()
+    with reg.profiler.phase("work") as ph:
+        ph.add_ops(100)
+    with reg.profiler.phase("work") as ph:
+        ph.add_ops(50)
+    entry = reg.profiler.to_dict()["work"]
+    assert entry["calls"] == 2
+    assert entry["ops"] == 150
+    assert entry["seconds"] >= 0
+    assert "ops_per_sec" in entry
+
+
+def test_module_phase_is_noop_without_registry():
+    assert m.current() is None
+    assert m.phase("anything") is NULL_PHASE
+    with m.phase("anything") as ph:
+        ph.add_ops(3)  # must be accepted and discarded
+
+
+def test_module_phase_records_with_registry():
+    reg = m.install(MetricsRegistry())
+    assert m.current() is reg
+    with m.phase("p") as ph:
+        ph.add_ops(2)
+    assert reg.profiler.to_dict()["p"]["ops"] == 2
+
+
+# ---------------------------------------------------------------------------
+# End to end through the simulator
+# ---------------------------------------------------------------------------
+
+def test_system_streams_into_installed_registry():
+    reg = m.install(MetricsRegistry())
+    system = System(SystemConfig.paper_default())
+    result = ImpactPnmChannel(system).transmit_random(16, seed=3)
+    counters = reg.to_dict()["counters"]
+    assert counters["channel.bits"] == 16
+    assert counters["dram.RD"] > 0
+    assert counters["pei.memory"] > 0
+    assert counters["sched.resume"] > 0
+    assert reg.histograms["channel.probe_latency"].count == 16
+    phases = reg.profiler.to_dict()
+    assert "warm-up" in phases and "transmit" in phases
+    assert phases["transmit:IMPACT-PnM"]["ops"] == 16
+    assert result.bits == 16
+
+
+def test_metrics_off_leaves_system_uninstrumented():
+    system = System(SystemConfig.paper_default())
+    assert system.metrics is None
+    result = ImpactPnmChannel(system).transmit_random(16, seed=3)
+    assert result.bits == 16
+
+
+def test_metrics_do_not_change_results():
+    baseline = ImpactPnmChannel(
+        System(SystemConfig.paper_default())).transmit_random(32, seed=5)
+    m.install(MetricsRegistry())
+    measured = ImpactPnmChannel(
+        System(SystemConfig.paper_default())).transmit_random(32, seed=5)
+    assert measured.received == baseline.received
+    assert measured.cycles == baseline.cycles
+    assert measured.probe_latencies == baseline.probe_latencies
+
+
+# ---------------------------------------------------------------------------
+# Export and merging
+# ---------------------------------------------------------------------------
+
+def test_write_json_roundtrip(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("a").inc(3)
+    reg.histogram("h", edges=(1, 2)).observe(1)
+    path = reg.write_json(str(tmp_path / "m.json"), extra={"label": "L"})
+    data = json.loads((tmp_path / "m.json").read_text())
+    assert path.endswith("m.json")
+    assert data["label"] == "L"
+    assert data["counters"]["a"] == 3
+    assert data["histograms"]["h"]["count"] == 1
+
+
+def test_merge_dicts_sums_and_maxes():
+    a = MetricsRegistry()
+    a.counter("c").inc(2)
+    a.gauge("g").set(5.0)
+    a.histogram("h", edges=(10, 20)).observe(5)
+    a.profiler.record("p", 1.0, ops=10)
+    b = MetricsRegistry()
+    b.counter("c").inc(3)
+    b.gauge("g").set(3.0)
+    b.histogram("h", edges=(10, 20)).observe(15)
+    b.profiler.record("p", 1.0, ops=30)
+    merged = MetricsRegistry.merge_dicts([a.to_dict(), b.to_dict()])
+    assert merged["counters"]["c"] == 5
+    assert merged["gauges"]["g"] == 5.0
+    assert merged["histograms"]["h"]["counts"] == [1, 1, 0]
+    assert merged["histograms"]["h"]["count"] == 2
+    assert merged["histograms"]["h"]["min"] == 5
+    assert merged["histograms"]["h"]["max"] == 15
+    assert merged["phases"]["p"]["ops"] == 40
+    assert merged["phases"]["p"]["ops_per_sec"] == pytest.approx(20.0)
+
+
+def test_merge_dicts_rejects_mismatched_edges():
+    a = MetricsRegistry()
+    a.histogram("h", edges=(1, 2)).observe(1)
+    b = MetricsRegistry()
+    b.histogram("h", edges=(1, 3)).observe(1)
+    with pytest.raises(ValueError, match="mismatched edges"):
+        MetricsRegistry.merge_dicts([a.to_dict(), b.to_dict()])
