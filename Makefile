@@ -13,7 +13,7 @@ bench-quick:
 	python scripts/bench_snapshot.py
 
 bench-clean:
-	rm -rf benchmarks/results/.cache
+	rm -rf benchmarks/results/.cache benchmarks/results/.warmstore
 
 examples:
 	python examples/quickstart.py

@@ -3,8 +3,9 @@
 
 Runs a reduced slice of every figure sweep through :mod:`repro.exp`
 (parallel + cached exactly like the benches), times raw simulator,
-scheduler, and warm-up/snapshot microbenchmarks, and writes the whole
-record to ``BENCH_PR4.json`` at the repo root.  Intended for
+scheduler, and warm-up/snapshot microbenchmarks, measures the
+warm-state store's cold-vs-warm figure passes, and writes the whole
+record to ``BENCH_PR5.json`` at the repo root.  Intended for
 ``make bench-quick``::
 
     PYTHONPATH=src python scripts/bench_snapshot.py [--jobs N] [--no-cache]
@@ -13,6 +14,12 @@ The cache lives under ``benchmarks/results/.cache`` (shared with the
 pytest benches), so a snapshot taken right after the benchmark suite is
 nearly free, and a second snapshot of unchanged code replays entirely
 from disk.
+
+The warm-store section runs the fig8+fig10+fig11 sweeps twice in *fresh
+subprocesses* with the result cache off: the first (cold) pass populates
+``benchmarks/results/.warmstore``, the second (warm) pass replays the
+same points against the populated store, so the speedup isolates
+warm-state reuse from result caching and in-process memos.
 """
 
 from __future__ import annotations
@@ -20,6 +27,8 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
+import subprocess
 import sys
 import time
 
@@ -36,7 +45,9 @@ from repro.exp.figures import (  # noqa: E402
 )
 
 CACHE_DIR = os.path.join(REPO_ROOT, "benchmarks", "results", ".cache")
-OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR4.json")
+WARM_DIR = os.path.join(REPO_ROOT, "benchmarks", "results", ".warmstore")
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR5.json")
+BASELINE = os.path.join(REPO_ROOT, "BENCH_PR4.json")
 
 # Reduced axes: one quick pass over every figure, a couple of minutes
 # serial and cold, seconds warm or parallel.
@@ -47,6 +58,73 @@ QUICK_SWEEPS = [
     ("fig10", lambda: fig10_sweep((1024, 8192))),
     ("fig11", lambda: fig11_sweep(("BC", "PR"), max_refs=20_000)),
 ]
+
+
+#: The warm-store measurement: the three figure sweeps whose points route
+#: through :mod:`repro.exp.warmstore` (fig2/fig3 points are stateless
+#: one-shot builds and gain nothing from warm state).
+WARM_SWEEPS = [
+    ("fig8", lambda: fig8_sweep((8, 64))),
+    ("fig10", lambda: fig10_sweep((1024, 8192))),
+    ("fig11", lambda: fig11_sweep(("BC", "PR"), max_refs=20_000)),
+]
+
+
+def run_warm_sweeps(jobs: int) -> dict:
+    """One pass over the warm sweeps, result cache off.  Runs inside the
+    ``--warm-pass`` subprocess so every in-process memo starts cold and
+    the only carried state is the on-disk warm store."""
+    figures = {}
+    total = 0.0
+    for name, build in WARM_SWEEPS:
+        points = build()
+        outcome = run_sweep(points, jobs=jobs, cache=None)
+        figures[name] = {
+            "points": len(points),
+            "seconds": round(outcome.elapsed_seconds, 3),
+            "warm_hits": outcome.warm_hits,
+            "warm_misses": outcome.warm_misses,
+        }
+        total += outcome.elapsed_seconds
+    return {
+        "figures": figures,
+        "seconds": round(total, 3),
+        "warm_hits": sum(f["warm_hits"] for f in figures.values()),
+        "warm_misses": sum(f["warm_misses"] for f in figures.values()),
+    }
+
+
+def warm_store_two_pass(jobs: int) -> dict:
+    """Cold-then-warm figure passes in fresh subprocesses (see module
+    docstring); the warm pass is the ISSUE-5 headline measurement."""
+    shutil.rmtree(WARM_DIR, ignore_errors=True)
+    record = {"directory": os.path.relpath(WARM_DIR, REPO_ROOT),
+              "passes": {}}
+    env = dict(os.environ, REPRO_WARMSTORE_DIR=WARM_DIR)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    for label in ("cold", "warm"):
+        proc = subprocess.run(
+            [sys.executable, os.path.abspath(__file__),
+             "--warm-pass", "--jobs", str(jobs)],
+            capture_output=True, text=True, env=env)
+        if proc.returncode != 0:
+            raise RuntimeError(f"warm {label} pass failed:\n{proc.stderr}")
+        record["passes"][label] = json.loads(proc.stdout)
+    cold = record["passes"]["cold"]["seconds"]
+    warm = record["passes"]["warm"]["seconds"]
+    record["speedup_vs_cold"] = round(cold / max(warm, 1e-9), 2)
+    if os.path.exists(BASELINE):
+        try:
+            with open(BASELINE) as handle:
+                baseline = json.load(handle)["figures"]
+            baseline_seconds = sum(baseline[name]["seconds"]
+                                   for name, _ in WARM_SWEEPS)
+            record["baseline_seconds"] = round(baseline_seconds, 3)
+            record["speedup_vs_baseline"] = round(
+                baseline_seconds / max(warm, 1e-9), 2)
+        except (OSError, KeyError, ValueError):
+            pass
+    return record
 
 
 def simulator_ops_per_sec() -> dict:
@@ -137,9 +215,15 @@ def main(argv=None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache")
     parser.add_argument("--output", default=OUTPUT)
+    parser.add_argument("--warm-pass", action="store_true",
+                        help=argparse.SUPPRESS)  # internal: one warm pass,
+    # JSON on stdout (spawned twice by warm_store_two_pass)
     args = parser.parse_args(argv)
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
+    if args.warm_pass:
+        json.dump(run_warm_sweeps(jobs), sys.stdout)
+        return 0
     cache = None if args.no_cache else ResultCache(CACHE_DIR)
 
     record = {
@@ -180,6 +264,17 @@ def main(argv=None) -> int:
     record["snapshot"] = snapshot_restore_speedup()
     print(f"snapshot restore: {record['snapshot']['speedup']}x faster "
           f"than re-warming")
+
+    print("measuring warm-state store (cold + warm passes)...")
+    record["warm_store"] = warm_store_two_pass(jobs)
+    warm = record["warm_store"]
+    line = (f"warm store: cold {warm['passes']['cold']['seconds']:.2f}s -> "
+            f"warm {warm['passes']['warm']['seconds']:.2f}s "
+            f"({warm['speedup_vs_cold']}x, "
+            f"{warm['passes']['warm']['warm_hits']} warm hits)")
+    if "speedup_vs_baseline" in warm:
+        line += f"; {warm['speedup_vs_baseline']}x vs BENCH_PR4"
+    print(line)
 
     record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     with open(args.output, "w") as handle:

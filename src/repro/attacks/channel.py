@@ -188,9 +188,8 @@ class CovertChannel:
             registry.counter("channel.bits").inc(result.bits)
             registry.counter("channel.bit_errors").inc(result.errors)
             registry.counter(f"channel.transmissions.{self.name}").inc()
-            histogram = registry.histogram("channel.probe_latency")
-            for latency in result.probe_latencies:
-                histogram.observe(latency)
+            registry.histogram("channel.probe_latency").observe_many(
+                result.probe_latencies)
             registry.gauge(
                 f"channel.{self.name}.throughput_mbps").set(
                     result.throughput_mbps)

@@ -123,20 +123,26 @@ class ReadMappingSideChannel:
                 raise ValueError("anchor row collides with a hash-table row")
         system = self.system
         cfg = self.config
-        scan_addrs = self._scan_addrs()
+        # The scan targets are fixed for the whole run: the anchor row in
+        # every bank.  Hand the PEI engine pre-decoded (bank, row) pairs
+        # so the hot rescan loop skips per-address decode and result
+        # objects (execute_parallel_raw is bit-identical to
+        # execute_parallel and self-downgrades under observers).
+        scan_locs = [(bank, cfg.anchor_row) for bank in range(self.num_banks)]
+        threshold = cfg.threshold_cycles
         stats = {"correct": 0, "missed": 0, "fp": 0, "t0": 0, "t1": 0}
 
         def scan(ctx: Context) -> List[int]:
             """One full-bank rescan; returns banks seen in conflict."""
-            results = system.pei.execute_parallel(
-                scan_addrs, ctx.now,
+            raw = system.pei.execute_parallel_raw(
+                scan_locs, ctx.now,
                 issue_gap_cycles=cfg.scan_issue_gap_cycles,
                 requestor="attacker")
-            finish = max(r.finish for r in results)
+            finish = max(item[2] for item in raw)
             ctx.advance_to(finish)
             ctx.advance(cfg.scan_fixed_cycles)
-            return [r.bank for r in results
-                    if r.latency > cfg.threshold_cycles]
+            return [bank for bank, issue_time, fin in raw
+                    if fin - issue_time > threshold]
 
         def harness(ctx: Context, sys_: System):
             # Initial scan opens the anchor row everywhere.

@@ -45,6 +45,52 @@ from repro.system import System
 #: A probe faster than this hit the LLC (shared-array line present).
 HIT_THRESHOLD_CYCLES = 100
 
+#: Process-level memo of shared traversal orders, keyed (total_lines,
+#: seed).  The shuffle is the single most expensive piece of building a
+#: Streamline channel (millions of indices at large LLC sizes).
+_ORDER_MEMO: dict = {}
+
+
+def shared_order(total_lines: int, seed: int) -> List[int]:
+    """The pre-agreed pseudorandom traversal order of the shared array.
+
+    Bit-for-bit ``random.Random(seed).shuffle(list(range(total_lines)))``,
+    but deterministic in its inputs and expensive to build — so it is
+    memoized per process and persisted as a :mod:`repro.exp.warmstore`
+    artifact (as a compact typed array) when a store is active.  The
+    returned list is shared between callers and must be treated as
+    immutable.  ``REPRO_NO_WARMSTORE=1`` forces the from-scratch build.
+    """
+    from array import array
+
+    from repro.exp import warmstore
+
+    if not warmstore.enabled():
+        order = list(range(total_lines))
+        random.Random(seed).shuffle(order)
+        return order
+    key = (total_lines, seed)
+    order = _ORDER_MEMO.get(key)
+    if order is not None:
+        warmstore.record_event("hits")
+        return order
+    store = warmstore.current()
+    recipe = ("streamline-order", total_lines, seed)
+    if store is not None:
+        loaded = store.load_artifact(recipe)
+        if not store.is_missing(loaded):
+            order = list(loaded)
+            _ORDER_MEMO[key] = order
+            return order
+    order = list(range(total_lines))
+    random.Random(seed).shuffle(order)
+    _ORDER_MEMO[key] = order
+    if store is not None:
+        store.store_artifact(recipe, array("l", order))
+    else:
+        warmstore.record_event("misses")
+    return order
+
 
 def line_period_cycles(system: System) -> int:
     """The static per-line cadence both sides pace against.
@@ -90,8 +136,7 @@ class StreamlineChannel(CovertChannel):
         capacity = system.config.geometry.capacity_bytes
         self._base = capacity // 2  # far from other experiments' regions
         self._line = line
-        self._order = list(range(total_lines))
-        random.Random(order_seed).shuffle(self._order)
+        self._order = shared_order(total_lines, order_seed)
         self.line_period = line_period_cycles(system)
 
     def decode(self, latency: int) -> int:

@@ -251,6 +251,33 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or prune the on-disk result cache and warm-state store."""
+    import os
+
+    from repro.exp.cache import ResultCache
+    from repro.exp.warmstore import WarmStore
+
+    warm_dir = (args.warm_dir or os.environ.get("REPRO_WARMSTORE_DIR")
+                or "benchmarks/results/.warmstore")
+    stores = [("results", ResultCache(args.results_dir)),
+              ("warm", WarmStore(warm_dir))]
+    if args.action == "prune":
+        for label, store in stores:
+            removed = store.prune()
+            print(f"{label}: removed {removed} stale entries from "
+                  f"{store.directory}")
+    rows = []
+    for label, store in stores:
+        stats = store.stats()
+        rows.append((label, stats["directory"], stats["entries"],
+                     stats["stale_entries"], f"{stats['bytes'] / 1e6:.1f}"))
+    print(format_table(
+        ["store", "directory", "entries", "stale", "MB"], rows,
+        title=f"on-disk caches (code version {stores[0][1].version})"))
+    return 0
+
+
 def cmd_recon(args: argparse.Namespace) -> int:
     config = _config(args)
     system = System(config)
@@ -365,6 +392,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "summaries into the report")
     add_jobs(p)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or prune the result cache and warm-state store")
+    p.add_argument("action", choices=["stats", "prune"],
+                   help="stats: show entry counts/sizes; prune: drop "
+                        "entries from other code versions, then show stats")
+    p.add_argument("--results-dir", default="benchmarks/results/.cache",
+                   metavar="DIR", help="result-cache directory")
+    p.add_argument("--warm-dir", default=None, metavar="DIR",
+                   help="warm-state store directory (default: "
+                        "$REPRO_WARMSTORE_DIR or "
+                        "benchmarks/results/.warmstore)")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("recon", help="reverse-engineer the bank function")
     p.add_argument("--mapping", choices=["row", "line", "xor"], default="xor")

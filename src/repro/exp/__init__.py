@@ -23,22 +23,29 @@ Usage::
 from repro.exp.cache import MISSING, ResultCache, code_version
 from repro.exp.runner import (
     SweepOutcome,
+    WorkerPool,
     default_jobs,
     metrics_path,
     point_slug,
     run_sweep,
+    shutdown_pool,
 )
 from repro.exp.sweep import SweepPoint, sweep_points
+from repro.exp.warmstore import WarmStore, pristine_system
 
 __all__ = [
     "MISSING",
     "ResultCache",
     "SweepOutcome",
     "SweepPoint",
+    "WarmStore",
+    "WorkerPool",
     "code_version",
     "default_jobs",
     "metrics_path",
     "point_slug",
+    "pristine_system",
     "run_sweep",
+    "shutdown_pool",
     "sweep_points",
 ]

@@ -52,19 +52,33 @@ def code_version() -> str:
     return _CODE_VERSION
 
 
+#: Default entry cap.  Sweeps produce a handful of entries per figure per
+#: code version, so thousands of files means many stale versions — bound
+#: the growth instead of keeping every version forever.
+DEFAULT_MAX_ENTRIES = 4096
+
+
 class ResultCache:
     """Content-addressed store of sweep-point results.
 
     One JSON file per entry under ``directory``; the filename is the cache
     key, so lookups are a single ``open`` and invalidation is ``rm -rf``.
+
+    The store is LRU-bounded: every hit touches its entry's mtime, and
+    when a put pushes the entry count past ``max_entries`` the
+    least-recently-used entries are evicted — preferring entries written
+    by *other* code versions, whose keys can never be looked up again.
     """
 
     def __init__(self, directory: str,
-                 version: Optional[str] = None) -> None:
+                 version: Optional[str] = None,
+                 max_entries: Optional[int] = DEFAULT_MAX_ENTRIES) -> None:
         self.directory = directory
         self.version = version if version is not None else code_version()
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     # Keys and paths
@@ -95,6 +109,10 @@ class ResultCache:
         except (OSError, ValueError):
             self.misses += 1
             return _MISSING
+        try:
+            os.utime(path)  # LRU recency: a hit keeps the entry young
+        except OSError:
+            pass
         self.hits += 1
         return entry.get("payload")
 
@@ -114,7 +132,94 @@ class ResultCache:
         with open(tmp, "w") as handle:
             json.dump(entry, handle, default=str)
         os.replace(tmp, path)
+        if self.max_entries is not None:
+            self._evict(self.max_entries)
         return path
+
+    # ------------------------------------------------------------------
+    # Size bounding / maintenance
+    # ------------------------------------------------------------------
+
+    def _entry_paths(self) -> "list[str]":
+        if not os.path.isdir(self.directory):
+            return []
+        return [os.path.join(self.directory, name)
+                for name in os.listdir(self.directory)
+                if name.endswith(".json")]
+
+    def entry_count(self) -> int:
+        return len(self._entry_paths())
+
+    def _entry_version(self, path: str) -> Optional[str]:
+        """The ``code_version`` recorded in an entry (None = unreadable)."""
+        try:
+            with open(path) as handle:
+                return json.load(handle).get("code_version")
+        except (OSError, ValueError):
+            return None
+
+    def _evict(self, max_entries: int) -> int:
+        """Bring the store under ``max_entries``, oldest-mtime first but
+        preferring entries from other code versions (their keys can never
+        match a lookup under this version again)."""
+        paths = self._entry_paths()
+        excess = len(paths) - max_entries
+        if excess <= 0:
+            return 0
+        def age(path: str) -> float:
+            try:
+                return os.path.getmtime(path)
+            except OSError:
+                return 0.0
+        removed = 0
+        stale = sorted((p for p in paths
+                        if self._entry_version(p) != self.version), key=age)
+        fresh = sorted((p for p in paths if p not in set(stale)), key=age)
+        for path in stale + fresh:
+            if removed >= excess:
+                break
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+        self.evictions += removed
+        return removed
+
+    def prune(self) -> int:
+        """Drop entries written by other code versions (stale keys);
+        returns how many were removed."""
+        removed = 0
+        for path in self._entry_paths():
+            if self._entry_version(path) != self.version:
+                try:
+                    os.remove(path)
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Summary for ``repro cache stats``."""
+        paths = self._entry_paths()
+        stale = sum(1 for p in paths if self._entry_version(p) != self.version)
+        total_bytes = 0
+        for path in paths:
+            try:
+                total_bytes += os.path.getsize(path)
+            except OSError:
+                pass
+        return {
+            "directory": self.directory,
+            "code_version": self.version,
+            "entries": len(paths),
+            "stale_entries": stale,
+            "bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "max_entries": self.max_entries,
+        }
 
     def clear(self) -> int:
         """Drop every entry; returns how many were removed."""

@@ -1,16 +1,28 @@
 """Parallel sweep runner.
 
 Fans independent :class:`~repro.exp.sweep.SweepPoint`\\ s out across a
-:class:`concurrent.futures.ProcessPoolExecutor`.  Each point constructs
-its own ``System`` inside the worker, and every stochastic component of
-the simulator is seeded from its config, so parallel results are
+persistent fork-server :class:`WorkerPool`.  Each point constructs its
+own ``System`` inside the worker, and every stochastic component of the
+simulator is seeded from its config, so parallel results are
 bit-identical to serial execution — the runner only changes wall-clock
 time, never numbers.
+
+Unlike the per-sweep ``ProcessPoolExecutor`` this replaced, the pool's
+workers survive across sweeps: each worker keeps its
+:mod:`repro.exp.warmstore` memory LRU of restored snapshots, its
+pristine-system pool, and its artifact memos, so a worker that has
+already warmed (or loaded) the 64 MB-LLC state serves every subsequent
+point sharing that config without re-warming or re-unpickling.  Because
+workers fork *before* later environment changes, every task carries a
+``REPRO_*`` environment overlay captured in the parent at dispatch time —
+trace/metrics/warm-store directories and sanitizer flags behave exactly
+as if the worker had been forked fresh.
 
 Degradation is graceful by design: ``jobs=1``, a single pending point, or
 an environment where worker processes cannot be spawned (sandboxes without
 semaphores, exotic interpreters) all fall back to in-process serial
-execution of the exact same point functions.
+execution of the exact same point functions; a broken pool is torn down
+and the pending points re-run serially.
 
 Observability survives the fan-out: when ``REPRO_TRACE_DIR`` /
 ``REPRO_METRICS_DIR`` are set (directly, or via
@@ -25,15 +37,17 @@ payloads into one run report.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import re
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Optional, Sequence
+from multiprocessing import connection as mp_connection
+from typing import Any, Dict, List, Iterator, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.exp import warmstore
 from repro.exp.cache import ResultCache
 from repro.exp.sweep import SweepPoint
 from repro.obs import metrics as obs_metrics
@@ -41,9 +55,20 @@ from repro.obs import metrics as obs_metrics
 
 def default_jobs() -> int:
     """Worker count used when ``jobs`` is not given: the CPUs available to
-    this process (``os.process_cpu_count()`` where it exists, Python 3.13+;
-    ``os.cpu_count()`` otherwise)."""
-    counter = getattr(os, "process_cpu_count", None) or os.cpu_count
+    *this process*.  ``os.process_cpu_count()`` (Python 3.13+) already
+    honours CPU affinity; on older interpreters fall back to
+    ``len(os.sched_getaffinity(0))`` so cgroup- or taskset-restricted CI
+    boxes don't oversubscribe the pool, and only then to the raw
+    ``os.cpu_count()`` (platforms without affinity, e.g. macOS)."""
+    counter = getattr(os, "process_cpu_count", None)
+    if counter is None:
+        affinity = getattr(os, "sched_getaffinity", None)
+        if affinity is not None:
+            try:
+                return max(1, len(affinity(0)))
+            except OSError:
+                pass
+        counter = os.cpu_count
     return max(1, counter() or 1)
 
 
@@ -58,6 +83,11 @@ class SweepOutcome:
     cache_misses: int = 0
     elapsed_seconds: float = 0.0
     fallback_reason: Optional[str] = None
+    #: Warm-state reuse during the executed (non-result-cached) points:
+    #: snapshot/artifact loads and pristine-system restores served from
+    #: the :mod:`repro.exp.warmstore` layers vs. paid from scratch.
+    warm_hits: int = 0
+    warm_misses: int = 0
     points: Sequence[SweepPoint] = field(default_factory=tuple)
 
     def __iter__(self) -> Iterator[Any]:
@@ -133,26 +163,172 @@ def _run_serial(points: Sequence[SweepPoint]) -> List[Any]:
     return [_run_point(point) for point in points]
 
 
-def _run_parallel(points: Sequence[SweepPoint], jobs: int) -> List[Any]:
-    """Execute ``points`` on a process pool; results in point order.
+def _pool_worker_main(conn) -> None:
+    """Loop of one persistent fork-server worker.
 
-    Prefers the ``fork`` start method (workers inherit the parent's
-    imports and ``sys.path``, so even point functions defined in scripts
-    resolve); falls back to the platform default elsewhere.
+    Tasks arrive as ``(seq, point, env)`` where ``env`` is the parent's
+    ``REPRO_*`` environment at dispatch time; the worker mirrors it
+    exactly (removing stale keys) before running the point, so a worker
+    forked long ago behaves like one forked for this sweep.  Replies are
+    ``(seq, ok, payload, warm_delta)`` — ``payload`` is the point result
+    or the raised exception, ``warm_delta`` the warm-store hit/miss
+    counts this point generated.  ``None`` shuts the worker down.
     """
-    methods = multiprocessing.get_all_start_methods()
-    mp_context = (multiprocessing.get_context("fork")
-                  if "fork" in methods else None)
-    workers = min(jobs, len(points))
-    with ProcessPoolExecutor(max_workers=workers,
-                             mp_context=mp_context) as pool:
-        return list(pool.map(_run_point, points))
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        seq, point, env = task
+        for key in [k for k in os.environ
+                    if k.startswith("REPRO_") and k not in env]:
+            del os.environ[key]
+        os.environ.update(env)
+        before = warmstore.counters()
+        ok = True
+        try:
+            payload: Any = _run_point(point)
+        except BaseException as exc:  # transported to the parent
+            ok = False
+            payload = exc
+        after = warmstore.counters()
+        warm_delta = {key: after[key] - before[key] for key in after}
+        try:
+            conn.send((seq, ok, payload, warm_delta))
+        except Exception as exc:  # unpicklable payload/exception
+            conn.send((seq, False,
+                       RuntimeError(f"unpicklable point result: {exc}"),
+                       warm_delta))
+    conn.close()
+
+
+class WorkerPool:
+    """Reusable fork-server pool of :func:`_pool_worker_main` processes.
+
+    Workers persist across :func:`run_sweep` calls (that is the point:
+    their in-memory warm-state LRUs keep paying off), grow on demand up
+    to the largest ``jobs`` requested, and are torn down via
+    :func:`shutdown_pool` (registered ``atexit``).  Any pipe or worker
+    failure marks the pool broken; the caller tears it down and falls
+    back to serial execution.
+    """
+
+    def __init__(self) -> None:
+        methods = multiprocessing.get_all_start_methods()
+        # fork: workers inherit the parent's imports and sys.path, so
+        # even point functions defined in scripts resolve.
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        self._workers: List[Tuple[Any, Any]] = []  # (process, conn)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def _spawn(self) -> Tuple[Any, Any]:
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(target=_pool_worker_main,
+                                        args=(child_conn,), daemon=True)
+        process.start()
+        child_conn.close()
+        return process, parent_conn
+
+    def ensure(self, count: int) -> None:
+        while len(self._workers) < count:
+            self._workers.append(self._spawn())
+
+    def run(self, points: Sequence[SweepPoint],
+            jobs: int) -> List[Tuple[Any, Dict[str, int]]]:
+        """Execute ``points``; returns ``(payload, warm_delta)`` pairs in
+        point order.  Re-raises the first failing point's exception after
+        draining in-flight tasks (the pool stays reusable)."""
+        count = min(jobs, len(points))
+        self.ensure(count)
+        env = {key: value for key, value in os.environ.items()
+               if key.startswith("REPRO_")}
+        out: List[Optional[Tuple[Any, Dict[str, int]]]] = [None] * len(points)
+        failure: Optional[BaseException] = None
+        next_index = 0
+        idle = list(self._workers[:count])
+        busy: Dict[Any, Tuple[Any, Any]] = {}  # conn -> (process, conn)
+        try:
+            while True:
+                while idle and next_index < len(points) and failure is None:
+                    worker = idle.pop()
+                    worker[1].send((next_index, points[next_index], env))
+                    busy[worker[1]] = worker
+                    next_index += 1
+                if not busy:
+                    break
+                for conn in mp_connection.wait(list(busy)):
+                    seq, ok, payload, warm_delta = conn.recv()
+                    idle.append(busy.pop(conn))
+                    if ok:
+                        out[seq] = (payload, warm_delta)
+                    elif failure is None:
+                        failure = payload
+        except (OSError, EOFError, BrokenPipeError) as exc:
+            # A worker or pipe died: the pool is unusable.  Tear it down
+            # so the next sweep starts fresh, and let run_sweep fall back
+            # to serial execution of the whole pending set.
+            self.shutdown()
+            raise RuntimeError(f"worker pool failed: {exc}") from exc
+        if failure is not None:
+            raise failure
+        return [pair for pair in out]  # type: ignore[misc]
+
+    def shutdown(self) -> None:
+        for _process, conn in self._workers:
+            try:
+                conn.send(None)
+            except Exception:
+                pass
+        for process, conn in self._workers:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+            try:
+                conn.close()
+            except Exception:
+                pass
+        self._workers = []
+
+
+_POOL: Optional[WorkerPool] = None
+
+
+def _get_pool() -> WorkerPool:
+    global _POOL
+    if _POOL is None:
+        _POOL = WorkerPool()
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Terminate the persistent worker pool (no-op when none exists).
+    A later parallel sweep transparently builds a fresh pool."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+
+
+atexit.register(shutdown_pool)
+
+
+def _run_parallel(points: Sequence[SweepPoint],
+                  jobs: int) -> List[Tuple[Any, Dict[str, int]]]:
+    """Execute ``points`` on the persistent pool; results in point order."""
+    return _get_pool().run(points, jobs)
 
 
 def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
               cache: Optional[ResultCache] = None,
               trace_dir: Optional[str] = None,
-              metrics_dir: Optional[str] = None) -> SweepOutcome:
+              metrics_dir: Optional[str] = None,
+              warm_dir: Optional[str] = None) -> SweepOutcome:
     """Run every point, in parallel when possible, and return a
     :class:`SweepOutcome` whose ``results`` align with ``points``.
 
@@ -171,6 +347,11 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
             JSON (counters, histograms, phase profile) into this
             directory, keyed like the trace files (exported as
             ``REPRO_METRICS_DIR``).  Cached points are not re-measured.
+        warm_dir: when given, points resolve a shared
+            :class:`repro.exp.warmstore.WarmStore` rooted here (exported
+            as ``REPRO_WARMSTORE_DIR``): warm-up snapshots and
+            deterministic artifacts are loaded instead of recomputed, and
+            the outcome's ``warm_hits``/``warm_misses`` report the reuse.
     """
     started = time.perf_counter()
     overlay = {}
@@ -178,6 +359,8 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
         overlay["REPRO_TRACE_DIR"] = trace_dir
     if metrics_dir is not None:
         overlay["REPRO_METRICS_DIR"] = metrics_dir
+    if warm_dir is not None:
+        overlay["REPRO_WARMSTORE_DIR"] = warm_dir
     if overlay:
         saved = {key: os.environ.get(key) for key in overlay}
         os.environ.update(overlay)
@@ -206,20 +389,45 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
 
     parallel = False
     fallback_reason: Optional[str] = None
+    warm_hits = 0
+    warm_misses = 0
+
+    def _serial_with_warm_counts(todo: Sequence[SweepPoint]) -> List[Any]:
+        nonlocal warm_hits, warm_misses
+        before = warmstore.counters()
+        payloads = _run_serial(todo)
+        after = warmstore.counters()
+        warm_hits += after["hits"] - before["hits"]
+        warm_misses += after["misses"] - before["misses"]
+        return payloads
+
     if pending:
         todo = [points[i] for i in pending]
         if jobs > 1 and len(todo) > 1:
             try:
-                fresh = _run_parallel(todo, jobs)
+                pairs = _run_parallel(todo, jobs)
+                fresh = [payload for payload, _delta in pairs]
+                warm_hits = sum(delta["hits"] for _p, delta in pairs)
+                warm_misses = sum(delta["misses"] for _p, delta in pairs)
                 parallel = True
+                # Workers counted their warm events in their own metrics
+                # registries; mirror the totals into the parent's, like
+                # warmstore.record_event does on the serial path.
+                registry = obs_metrics.current()
+                if registry is not None:
+                    if warm_hits:
+                        registry.counter("warmstore.hits").inc(warm_hits)
+                    if warm_misses:
+                        registry.counter("warmstore.misses").inc(warm_misses)
             except (OSError, PermissionError, RuntimeError,
                     ImportError) as exc:
                 # Worker processes unavailable (restricted sandbox, missing
                 # semaphores, ...): identical results, just serially.
                 fallback_reason = f"{type(exc).__name__}: {exc}"
-                fresh = _run_serial(todo)
+                warm_hits = warm_misses = 0
+                fresh = _serial_with_warm_counts(todo)
         else:
-            fresh = _run_serial(todo)
+            fresh = _serial_with_warm_counts(todo)
         for index, payload in zip(pending, fresh):
             results[index] = payload
             if cache is not None:
@@ -234,5 +442,7 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
         cache_misses=len(pending),
         elapsed_seconds=time.perf_counter() - started,
         fallback_reason=fallback_reason,
+        warm_hits=warm_hits,
+        warm_misses=warm_misses,
         points=tuple(points),
     )

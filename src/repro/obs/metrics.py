@@ -110,6 +110,28 @@ class Histogram:
         if self.maximum is None or value > self.maximum:
             self.maximum = value
 
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Batch form of :meth:`observe` for hot paths that collect
+        thousands of samples per call (e.g. one probe latency per
+        transmitted bit): bucket in one tight loop, fold count/total/
+        min/max with the C-level builtins."""
+        if not isinstance(values, (list, tuple)):
+            values = list(values)
+        if not values:
+            return
+        counts = self.counts
+        edges = self.edges
+        for value in values:
+            counts[bisect_left(edges, value)] += 1
+        self.count += len(values)
+        self.total += sum(values)
+        low = min(values)
+        high = max(values)
+        if self.minimum is None or low < self.minimum:
+            self.minimum = low
+        if self.maximum is None or high > self.maximum:
+            self.maximum = high
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

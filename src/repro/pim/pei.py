@@ -288,3 +288,67 @@ class PEIEngine:
                                      issued=issue_time, finish=finish,
                                      kind=mem.kind, bank=mem.bank))
         return results
+
+    def execute_parallel_raw(self, locations: List[Tuple[int, int]],
+                             issued: int, *,
+                             issue_gap_cycles: Optional[float] = None,
+                             requestor: str = "pei",
+                             ) -> List[Tuple[int, int, int]]:
+        """Memory-side PEI fan-out over pre-decoded ``(bank, row)`` pairs.
+
+        Bit-identical timing, state evolution, and statistics to
+        :meth:`execute_parallel` on the equivalent addresses, but returns
+        compact ``(bank, issue_time, finish)`` triples instead of
+        :class:`PEIResult` objects — the §4.3 attacker rescans every bank
+        once per victim probe, making this the simulator's hottest loop,
+        and the per-op address decode and result-object allocations
+        dominated it.  Whenever an observer is attached (tracer,
+        sanitizer, metrics) or a controller feature with per-access hooks
+        is active (bank partitioning, refresh, constant-time), the call
+        delegates to :meth:`execute_parallel`, so every observable event
+        is still reported identically.
+        """
+        controller = self.controller
+        if (self._obs is not None or controller._obs is not None
+                or controller._partition or controller._refresh_enabled
+                or controller._constant_time):
+            encode = controller.mapper.encode
+            results = self.execute_parallel(
+                [encode(bank, row) for bank, row in locations], issued,
+                issue_gap_cycles=issue_gap_cycles, requestor=requestor)
+            return [(r.bank, r.issued, r.finish) for r in results]
+        cfg = self.config
+        gap = (issue_gap_cycles if issue_gap_cycles is not None
+               else cfg.issue_cycles)
+        lead = cfg.network_cycles
+        tail = cfg.pcu_op_cycles + cfg.network_cycles
+        queue = controller._queue_cycles
+        close_after = controller._close_after
+        locked = controller._locked_until  # only rowclone moves it
+        banks = controller.device.banks
+        hit_kind = AccessKind.HIT
+        conflict_kind = AccessKind.CONFLICT
+        hits = 0
+        conflicts = 0
+        out: List[Tuple[int, int, int]] = []
+        append = out.append
+        for i, (bank_index, row) in enumerate(locations):
+            issue_time = issued + int(i * gap)
+            start = issue_time + lead + queue
+            if start < locked:
+                start = locked
+            kind, _service, finish = banks[bank_index].access_raw(
+                row, start, close_after)
+            if kind is hit_kind:
+                hits += 1
+            elif kind is conflict_kind:
+                conflicts += 1
+            append((bank_index, issue_time, finish + tail))
+        count = len(out)
+        if count:
+            self.memory_executions += count
+            stats = controller._stats_for(requestor)
+            stats.reads += count
+            stats.hits += hits
+            stats.conflicts += conflicts
+        return out

@@ -28,6 +28,7 @@ from repro.workloads.kernels import (
 from repro.workloads.runner import (
     DefenseEvaluation,
     RunResult,
+    WarmupCache,
     evaluate_defenses,
     fig11_config,
     run_multiprogrammed,
@@ -46,6 +47,7 @@ __all__ = [
     "MemoryRef",
     "RunResult",
     "TraceProfile",
+    "WarmupCache",
     "WorkloadSpec",
     "bc_kernel",
     "bfs_kernel",

@@ -64,6 +64,14 @@ class WarmupCache:
     across runs that rebuild equal streams from scratch.  The system's
     ``SystemConfig`` is always part of the key — warm state captured under
     one row policy or geometry never leaks into another.
+
+    Explicitly-keyed entries additionally persist through the process-wide
+    :mod:`repro.exp.warmstore` (when one is active): the post-warm-up
+    snapshot is written to disk under recipe ``("warmup", key)`` and later
+    runs — including runs in other processes — restore it instead of
+    replaying the warm-up.  Identity-keyed entries stay memory-only (an
+    ``id()`` is meaningless across processes).  ``REPRO_NO_WARMSTORE=1``
+    disables the disk layer.
     """
 
     def __init__(self) -> None:
@@ -77,14 +85,33 @@ class WarmupCache:
              *, key: Optional[Hashable] = None) -> bool:
         """Bring ``system`` to its post-warm-up state; True on a cache hit
         (state restored from a snapshot instead of replayed)."""
+        from repro.exp import warmstore
+
         stream_key = key if key is not None else tuple(id(s) for s in streams)
         cache_key = (system.config, stream_key)
         snap = self._snapshots.get(cache_key)
         if snap is not None:
             system.restore(snap)
+            if warmstore.enabled():
+                warmstore.record_event("hits")
             return True
+        store = recipe = None
+        if key is not None and warmstore.enabled():
+            store = warmstore.current()
+        if store is not None:
+            recipe = ("warmup", key)
+            snap = store.load_snapshot(system.config, recipe)
+            if snap is not None:
+                system.restore(snap)
+                self._snapshots[cache_key] = snap
+                return True
         _warm(system, streams)
-        self._snapshots[cache_key] = system.snapshot()
+        snap = system.snapshot()
+        self._snapshots[cache_key] = snap
+        if store is not None:
+            store.store_snapshot(snap, recipe)
+        elif warmstore.enabled():
+            warmstore.record_event("misses")
         return False
 
 
@@ -212,6 +239,7 @@ def evaluate_defenses(name: str, base_config: Optional[SystemConfig] = None,
                       max_refs: int = 60_000,
                       policies: Sequence[str] = ("open", "crp", "ctd"),
                       warm_cache: Optional[WarmupCache] = None,
+                      stream: Optional[Sequence[MemoryRef]] = None,
                       ) -> DefenseEvaluation:
     """Run one Fig. 11 workload under each row policy.
 
@@ -219,11 +247,15 @@ def evaluate_defenses(name: str, base_config: Optional[SystemConfig] = None,
     system; ``max_refs`` bounds each instance's replayed stream so the
     sweep completes at simulation scale.  A shared :class:`WarmupCache`
     makes repeated evaluations of the same workload pay one warm-up per
-    (policy, workload) instead of one per call.
+    (policy, workload) instead of one per call.  ``stream`` lets callers
+    supply the workload's prebuilt reference stream (e.g. restored from
+    the warm store); it must equal ``spec.refs(...)`` for (``name``,
+    ``max_refs``) or results will not match the from-scratch run.
     """
     spec = workload_spec(name)
-    graph = spec.build_graph()
-    stream = spec.refs(graph=graph, max_refs=max_refs)
+    if stream is None:
+        graph = spec.build_graph()
+        stream = spec.refs(graph=graph, max_refs=max_refs)
     base = base_config or fig11_config()
     results: Dict[str, RunResult] = {}
     for policy in policies:

@@ -78,3 +78,30 @@ def test_config_validation():
         make_channel(lag_line_slots=0)
     with pytest.raises(ValueError):
         make_channel(llc_mb=8.0, array_mb=8.0)  # array must outsize LLC
+
+
+def test_shared_order_is_the_seeded_shuffle_every_way(tmp_path, monkeypatch):
+    """The traversal order must be bit-for-bit the historical inline
+    shuffle on every path: kill switch, memo, and on-disk artifact."""
+    import random
+
+    from repro.attacks import streamline
+    from repro.exp import warmstore
+
+    expected = list(range(5000))
+    random.Random(7).shuffle(expected)
+
+    monkeypatch.setenv("REPRO_NO_WARMSTORE", "1")
+    assert streamline.shared_order(5000, 7) == expected
+
+    monkeypatch.delenv("REPRO_NO_WARMSTORE")
+    monkeypatch.setenv("REPRO_WARMSTORE_DIR", str(tmp_path))
+    warmstore.reset_active_store()
+    streamline._ORDER_MEMO.pop((5000, 7), None)
+    assert streamline.shared_order(5000, 7) == expected  # built + stored
+    assert streamline.shared_order(5000, 7) == expected  # memo hit
+    streamline._ORDER_MEMO.pop((5000, 7), None)
+    warmstore.reset_active_store()
+    assert streamline.shared_order(5000, 7) == expected  # disk artifact
+    streamline._ORDER_MEMO.pop((5000, 7), None)
+    warmstore.reset_active_store()

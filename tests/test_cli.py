@@ -114,3 +114,25 @@ def test_trace_summary_missing_file(tmp_path, capsys):
     assert main(["trace", "impact-pnm", "--summary",
                  "--out", str(tmp_path / "absent.json")]) == 2
     assert "no trace file" in capsys.readouterr().err
+
+
+def test_cache_command_stats_and_prune(tmp_path, capsys):
+    from repro.exp.cache import ResultCache
+    from repro.exp.warmstore import WarmStore
+
+    results_dir = tmp_path / "results"
+    warm_dir = tmp_path / "warm"
+    ResultCache(results_dir, version="old",
+                max_entries=None).put("exp", {"a": 1}, {"r": 1})
+    WarmStore(warm_dir, version="old").store_artifact(("r",), [1])
+    argv = ["cache", "stats", "--results-dir", str(results_dir),
+            "--warm-dir", str(warm_dir)]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "results" in out and "warm" in out
+
+    assert main(["cache", "prune", "--results-dir", str(results_dir),
+                 "--warm-dir", str(warm_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "removed 1 stale entries" in out
+    assert ResultCache(results_dir).entry_count() == 0

@@ -8,11 +8,13 @@ import pytest
 from repro.exp import (
     ResultCache,
     SweepPoint,
+    WorkerPool,
     code_version,
     default_jobs,
     metrics_path,
     point_slug,
     run_sweep,
+    shutdown_pool,
     sweep_points,
 )
 from repro.exp.figures import fig8_sweep
@@ -28,6 +30,21 @@ def counting_point(value):
 
 def failing_point():
     raise RuntimeError("boom")
+
+
+def pid_point(value):
+    """Reports which process ran the point (pool-reuse assertions)."""
+    import os
+
+    return {"value": value, "pid": os.getpid()}
+
+
+def warm_point(value):
+    """Touches the warm store via Streamline's shared traversal order."""
+    from repro.attacks.streamline import shared_order
+
+    order = shared_order(20_000, value)
+    return {"value": value, "first": order[0], "n": len(order)}
 
 
 # ---------------------------------------------------------------------------
@@ -111,6 +128,37 @@ class TestResultCache:
         assert len(code_version()) == 16
         int(code_version(), 16)  # hex digest prefix
 
+    def test_eviction_caps_entry_count(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1", max_entries=2)
+        for i in range(5):
+            cache.put("exp", {"a": i}, {"r": i})
+        assert cache.entry_count() <= 2
+        assert cache.evictions >= 3
+
+    def test_eviction_prefers_stale_code_versions(self, tmp_path):
+        """Entries from old code versions can never match a lookup again,
+        so the LRU bound removes them before any live entry."""
+        old = ResultCache(tmp_path, version="v1", max_entries=None)
+        for i in range(3):
+            old.put("exp", {"a": i}, {"r": i})
+        new = ResultCache(tmp_path, version="v2", max_entries=4)
+        for i in range(3):
+            new.put("exp", {"b": i}, {"r": i})
+        assert new.entry_count() == 4
+        for i in range(3):  # every live entry survived the eviction
+            assert new.get("exp", {"b": i}) == {"r": i}
+        assert new.stats()["stale_entries"] == 1
+
+    def test_prune_drops_only_stale_versions(self, tmp_path):
+        ResultCache(tmp_path, version="v1",
+                    max_entries=None).put("exp", {"a": 1}, {"r": 1})
+        cache = ResultCache(tmp_path, version="v2", max_entries=None)
+        cache.put("exp", {"b": 1}, {"r": 2})
+        assert cache.prune() == 1
+        assert cache.get("exp", {"b": 1}) == {"r": 2}
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["stale_entries"] == 0
+
 
 # ---------------------------------------------------------------------------
 # Runner
@@ -157,9 +205,49 @@ class TestRunSweep:
     def test_default_jobs_positive(self):
         assert default_jobs() >= 1
 
+    def test_default_jobs_honors_cpu_affinity(self, monkeypatch):
+        """On interpreters without os.process_cpu_count, the affinity mask
+        (cgroup/taskset-restricted CI) wins over the raw CPU count."""
+        import os
+
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: {0, 1, 2}, raising=False)
+        assert default_jobs() == 3
+
+    def test_default_jobs_survives_affinity_failure(self, monkeypatch):
+        import os
+
+        def broken(pid):
+            raise OSError("no affinity")
+
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(os, "sched_getaffinity", broken, raising=False)
+        assert default_jobs() >= 1
+
     def test_failing_point_propagates_serially(self):
         with pytest.raises(RuntimeError, match="boom"):
             run_sweep([SweepPoint("exp", failing_point)], jobs=1)
+
+    def test_warm_counts_reported_in_outcome(self, tmp_path):
+        from repro.exp import warmstore
+
+        if not warmstore.enabled():
+            pytest.skip("warm store disabled via REPRO_NO_WARMSTORE")
+        points = sweep_points("exp", warm_point, "value", [11, 12])
+        first = run_sweep(points, jobs=1, warm_dir=str(tmp_path))
+        assert first.warm_misses > 0
+        second = run_sweep(points, jobs=1, warm_dir=str(tmp_path))
+        assert second.warm_hits > 0 and second.warm_misses == 0
+        assert second.results == first.results
+
+    def test_warm_dir_env_is_restored(self, tmp_path):
+        import os
+
+        assert "REPRO_WARMSTORE_DIR" not in os.environ
+        run_sweep(sweep_points("exp", counting_point, "value", [1]),
+                  jobs=1, warm_dir=str(tmp_path))
+        assert "REPRO_WARMSTORE_DIR" not in os.environ
 
 
 class TestMetricsDir:
@@ -208,3 +296,63 @@ class TestParallelEqualsSerial:
                               [7, 3, 5, 1])
         outcome = run_sweep(points, jobs=4)
         assert [p["value"] for p in outcome] == [7, 3, 5, 1]
+
+
+# ---------------------------------------------------------------------------
+# Fork-server worker pool
+# ---------------------------------------------------------------------------
+
+def _pool_or_skip():
+    pool = WorkerPool()
+    try:
+        pool.ensure(1)
+    except (OSError, PermissionError, RuntimeError, ImportError) as exc:
+        pool.shutdown()
+        pytest.skip(f"worker processes unavailable: {exc}")
+    return pool
+
+
+class TestWorkerPool:
+    def test_workers_persist_across_runs(self):
+        """The fork-server property: a second sweep reuses the same
+        worker processes (and therefore their in-memory warm state)."""
+        pool = _pool_or_skip()
+        try:
+            first = pool.run(sweep_points("exp", pid_point, "value",
+                                          [1, 2, 3]), jobs=2)
+            second = pool.run(sweep_points("exp", pid_point, "value",
+                                           [4, 5, 6]), jobs=2)
+            first_pids = {payload["pid"] for payload, _delta in first}
+            second_pids = {payload["pid"] for payload, _delta in second}
+            assert second_pids <= first_pids
+            assert len(pool) == 2
+        finally:
+            pool.shutdown()
+
+    def test_run_returns_payloads_with_warm_deltas(self):
+        pool = _pool_or_skip()
+        try:
+            pairs = pool.run(sweep_points("exp", counting_point, "value",
+                                          [9, 10]), jobs=2)
+            assert [payload["value"] for payload, _delta in pairs] == [9, 10]
+            for _payload, delta in pairs:
+                assert set(delta) == {"hits", "misses"}
+        finally:
+            pool.shutdown()
+
+    def test_pool_stays_usable_after_point_failure(self):
+        pool = _pool_or_skip()
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                pool.run([SweepPoint("exp", failing_point),
+                          SweepPoint("exp", counting_point,
+                                     params={"value": 1})], jobs=2)
+            pairs = pool.run(sweep_points("exp", counting_point, "value",
+                                          [2]), jobs=2)
+            assert pairs[0][0] == {"value": 2, "double": 4}
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_pool_is_idempotent(self):
+        shutdown_pool()
+        shutdown_pool()

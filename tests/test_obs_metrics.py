@@ -182,3 +182,22 @@ def test_merge_dicts_rejects_mismatched_edges():
     b.histogram("h", edges=(1, 3)).observe(1)
     with pytest.raises(ValueError, match="mismatched edges"):
         MetricsRegistry.merge_dicts([a.to_dict(), b.to_dict()])
+
+
+def test_histogram_observe_many_matches_observe_loop():
+    loop = Histogram("h", edges=(10, 20, 30))
+    batch = Histogram("h", edges=(10, 20, 30))
+    values = [5, 10, 15, 25, 40, 12, 30]
+    for value in values:
+        loop.observe(value)
+    batch.observe_many(values)
+    assert batch.to_dict() == loop.to_dict()
+
+
+def test_histogram_observe_many_accepts_iterators_and_empty():
+    h = Histogram("h", edges=(10,))
+    h.observe_many(iter([5, 15]))
+    assert h.count == 2 and h.minimum == 5 and h.maximum == 15
+    h.observe_many([])
+    h.observe_many(iter(()))
+    assert h.count == 2

@@ -173,3 +173,75 @@ def test_warmup_cache_keys_on_config():
     run_multiprogrammed(System(base.with_defense("crp")), [stream, stream],
                         warm_cache=cache)
     assert len(cache) == 2  # different row policy => different warm state
+
+
+# ---------------------------------------------------------------------------
+# Versioned byte serialization (the warm store's wire format)
+# ---------------------------------------------------------------------------
+
+def test_snapshot_bytes_round_trip():
+    from repro.sim.snapshot import SNAPSHOT_FORMAT_VERSION, SnapshotFormatError
+
+    system = System(fig11_config())
+    _drive(system, 500)
+    snap = system.snapshot()
+    data = snap.to_bytes()
+    assert data[:8] == b"RPRSNAP1"
+    loaded = SystemSnapshot.from_bytes(data)
+    assert loaded.config == snap.config
+    restored = System(fig11_config())
+    restored.restore(loaded)
+    tail_restored, _ = _drive(restored, 300, seed_stride=13, start=50_000)
+    tail_original, _ = _drive(system, 300, seed_stride=13, start=50_000)
+    assert tail_restored == tail_original
+    assert SNAPSHOT_FORMAT_VERSION == 1
+    with pytest.raises(SnapshotFormatError):
+        SystemSnapshot.from_bytes(b"definitely not a snapshot")
+    with pytest.raises(SnapshotFormatError):
+        # Same magic, unknown format version.
+        SystemSnapshot.from_bytes(data[:8] + b"\xff\xff" + data[10:])
+
+
+def test_snapshot_bytes_cross_process_round_trip(tmp_path):
+    """A snapshot serialized by another process restores here and replays
+    bit-identically to warm state produced in-process."""
+    import json
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    child = r"""
+import json, sys
+from repro.system import System
+from repro.workloads.runner import fig11_config
+
+system = System(fig11_config())
+now = 0
+for i in range(2000):
+    result = system.hierarchy.access(
+        i % system.config.num_cores, (i * 64 * 7) % (1 << 22), now, pc=i % 53)
+    now = result.finish
+with open(sys.argv[1], "wb") as handle:
+    handle.write(system.snapshot().to_bytes())
+print(json.dumps({"now": now}))
+"""
+    path = tmp_path / "warm.snap"
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ, PYTHONPATH=src_dir)
+    proc = subprocess.run([sys.executable, "-c", child, str(path)],
+                          capture_output=True, text=True, env=env)
+    assert proc.returncode == 0, proc.stderr
+    now = json.loads(proc.stdout)["now"]
+
+    snap = SystemSnapshot.from_bytes(path.read_bytes())
+    restored = System(fig11_config())
+    restored.restore(snap)
+    tail_restored, _ = _drive(restored, 800, seed_stride=13, start=now)
+
+    reference = System(fig11_config())
+    _, reference_now = _drive(reference, 2000)
+    assert reference_now == now
+    tail_reference, _ = _drive(reference, 800, seed_stride=13, start=now)
+    assert tail_restored == tail_reference
