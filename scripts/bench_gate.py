@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""CI ops/s regression gate for the simulator hot path.
+
+Measures the raw demand-access rate (the ``simulator`` section of the
+bench-quick record) fresh, compares it against the newest committed
+``BENCH_PR*.json`` at the repo root, and fails when the fresh number
+drops more than ``--threshold`` (default 15%) below the committed one.
+Intended as a cheap CI step — it runs only the simulator micro-bench
+(median of ``--runs`` samples on a quiesced heap, seconds not minutes),
+not the figure sweeps::
+
+    PYTHONPATH=src python scripts/bench_gate.py [--threshold 0.15] [--runs 5]
+
+The gate exists because the hot path regressed silently across PRs 2-5
+(43.8k -> 35.6k ops/s in the committed records) with every functional
+test green; nothing in CI watched throughput.  Shared-runner noise is
+absorbed three ways: a small-N median rather than a single sample, the
+heap quiesce (GC pauses were the bulk of the historical regression),
+and the threshold margin.  ``--measure-only`` prints the fresh number
+without judging it (used to seed a baseline on new machines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import statistics
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def newest_baseline(root: str) -> "tuple":
+    """``(path, ops_per_sec)`` of the highest-numbered BENCH_PR*.json
+    carrying a simulator section."""
+    best = None
+    for path in glob.glob(os.path.join(root, "BENCH_PR*.json")):
+        match = re.search(r"BENCH_PR(\d+)\.json$", path)
+        if not match:
+            continue
+        try:
+            with open(path) as handle:
+                ops = json.load(handle)["simulator"]["ops_per_sec"]
+        except (OSError, KeyError, ValueError):
+            continue
+        rank = int(match.group(1))
+        if best is None or rank > best[0]:
+            best = (rank, path, ops)
+    if best is None:
+        return None, None
+    return best[1], best[2]
+
+
+def measure(runs: int) -> dict:
+    """Fresh simulator ops/s: same workload and hygiene as bench-quick's
+    ``simulator`` section (see ``scripts/bench_snapshot.py``)."""
+    import gc
+
+    from repro.config import SystemConfig
+    from repro.system import System
+
+    gc.collect()
+    gc.freeze()
+    n = 200_000
+    addrs = [(i * 64 * 7) % (1 << 24) for i in range(n)]
+    samples = []
+    try:
+        for _ in range(runs):
+            system = System(SystemConfig.paper_default())
+            started = time.perf_counter()
+            system.hierarchy.access_batch(0, addrs, 0, pc=0,
+                                          backend="vector")
+            samples.append(n / (time.perf_counter() - started))
+    finally:
+        gc.unfreeze()
+    return {
+        "accesses": n,
+        "runs": runs,
+        "samples": [round(s) for s in samples],
+        "ops_per_sec": round(statistics.median(samples)),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max allowed fractional drop vs the committed "
+                             "baseline (default 0.15)")
+    parser.add_argument("--runs", type=int, default=5,
+                        help="samples for the median (default 5)")
+    parser.add_argument("--baseline", default=None,
+                        help="explicit baseline JSON (default: newest "
+                             "committed BENCH_PR*.json)")
+    parser.add_argument("--measure-only", action="store_true",
+                        help="print the fresh number and exit 0")
+    args = parser.parse_args(argv)
+
+    fresh = measure(args.runs)
+    print(f"fresh simulator rate: {fresh['ops_per_sec']:,} ops/s "
+          f"(median of {fresh['runs']}; samples "
+          f"{', '.join(f'{s:,}' for s in fresh['samples'])})")
+    if args.measure_only:
+        return 0
+
+    if args.baseline:
+        path = args.baseline
+        try:
+            with open(path) as handle:
+                baseline_ops = json.load(handle)["simulator"]["ops_per_sec"]
+        except (OSError, KeyError, ValueError) as exc:
+            print(f"bench gate: cannot read baseline {path}: {exc}")
+            return 2
+    else:
+        path, baseline_ops = newest_baseline(REPO_ROOT)
+        if path is None:
+            print("bench gate: no committed BENCH_PR*.json baseline; "
+                  "nothing to gate against")
+            return 0
+
+    floor = baseline_ops * (1.0 - args.threshold)
+    verdict = "OK" if fresh["ops_per_sec"] >= floor else "FAIL"
+    print(f"baseline {os.path.basename(path)}: {baseline_ops:,} ops/s; "
+          f"floor at -{args.threshold:.0%}: {floor:,.0f} ops/s -> {verdict}")
+    if verdict == "FAIL":
+        drop = 1.0 - fresh["ops_per_sec"] / baseline_ops
+        print(f"bench gate: simulator hot path dropped {drop:.1%} vs "
+              f"{os.path.basename(path)} (limit {args.threshold:.0%}). "
+              f"If the change intentionally trades speed, refresh the "
+              f"committed record via `make bench-quick`.")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,12 @@ from repro.cache.replacement import (
     make_replacement_policy,
 )
 
+try:  # numpy backs the optional vector engine (repro.sim.vector); the
+    # scalar path never touches it and must work without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -122,6 +128,14 @@ class Cache:
             self._rrpv = None
             self._max_rrpv = 0
             self._insert_rrpv = 0
+        # Lazy numpy mirror of ``_tags`` for the vector engine
+        # (repro.sim.vector).  ``None`` until :meth:`tag_matrix` is first
+        # called, so the scalar path pays nothing; afterwards the tag-
+        # changing operations log (set, way, line) patches into
+        # ``_np_pending`` and wholesale restores flip ``_np_stale``.
+        self._np_tags = None
+        self._np_pending: List[tuple] = []
+        self._np_stale = False
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -220,6 +234,8 @@ class Cache:
         where[line] = way
         valid[way] = True
         dirty_bits[way] = dirty
+        if self._np_tags is not None:
+            self._np_pending.append((set_index, way, line))
         if rrpv_all is not None:
             rrpv_all[set_index][way] = self._insert_rrpv
         else:
@@ -240,8 +256,36 @@ class Cache:
         self._valid[set_index][way] = False
         self._dirty[set_index][way] = False
         self._tags[set_index][way] = -1
+        if self._np_tags is not None:
+            self._np_pending.append((set_index, way, -1))
         self.stats.invalidations += 1
         return dirty
+
+    def tag_matrix(self):
+        """Numpy view of the per-set tag arrays, shape ``(sets, ways)``,
+        ``-1`` marking invalid ways (the scalar tags use the same
+        sentinel, so the mirror is value-identical to ``_tags``).
+
+        Lazy and patch-coherent: built on first call, then kept in sync
+        by replaying the ``(set, way, line)`` patches :meth:`fill` and
+        :meth:`invalidate` log; a wholesale :meth:`restore_state` or an
+        oversized patch backlog triggers a full rebuild.  Only the vector
+        engine calls this — a cache that never sees a vector batch never
+        allocates the mirror.
+        """
+        mirror = self._np_tags
+        if (mirror is None or self._np_stale
+                or len(self._np_pending) > self._num_sets):
+            mirror = _np.array(self._tags, dtype=_np.int64)
+            self._np_tags = mirror
+            self._np_stale = False
+            self._np_pending.clear()
+            return mirror
+        if self._np_pending:
+            for set_index, way, line in self._np_pending:
+                mirror[set_index, way] = line
+            self._np_pending.clear()
+        return mirror
 
     def resident_lines(self, set_index: int) -> List[int]:
         """Line addresses currently resident in ``set_index`` (testing aid)."""
@@ -280,6 +324,10 @@ class Cache:
             dst_map.clear()
             dst_map.update(src_map)
         self._policy.restore_state(state["policy"])
+        # The numpy tag mirror (vector engine) no longer matches the
+        # wholesale-replaced tags; rebuild it on next use.
+        self._np_stale = True
+        self._np_pending.clear()
         self.stats = CacheStats(*state["stats"])
 
     @property

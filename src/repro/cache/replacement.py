@@ -29,6 +29,17 @@ class ReplacementPolicy:
         """Update state after a hit on ``way``."""
         raise NotImplementedError
 
+    def on_hit_run(self, sets, ways) -> None:
+        """Bulk :meth:`on_hit` over parallel ``(sets, ways)`` numpy int
+        arrays in chronological order (the vector engine's hit runs).
+
+        The base implementation replays per element — exact for any
+        policy; subclasses override with closed forms.  Must leave state
+        bit-identical to the element-by-element sequence.
+        """
+        for set_index, way in zip(sets.tolist(), ways.tolist()):
+            self.on_hit(set_index, way)
+
     def on_fill(self, set_index: int, way: int) -> None:
         """Update state after filling a new line into ``way``."""
         raise NotImplementedError
@@ -69,6 +80,31 @@ class LRUPolicy(ReplacementPolicy):
 
     on_fill = on_hit
 
+    def on_hit_run(self, sets, ways) -> None:
+        """Bulk LRU touch: ``k`` sequential hits stamp ``base+1..base+k``;
+        a way touched several times keeps only its *last* stamp, so one
+        write per distinct way at its last-occurrence position reproduces
+        the per-element sequence exactly."""
+        k = len(sets)
+        base = self._stamp
+        width = self.ways
+        last_use = self._last_use
+        if k < 24:
+            stamp = base
+            for set_index, way in zip(sets.tolist(), ways.tolist()):
+                stamp += 1
+                last_use[set_index][way] = stamp
+        else:
+            import numpy as np
+
+            flat = sets * width + ways
+            reversed_flat = flat[::-1]
+            uniq, rev_index = np.unique(reversed_flat, return_index=True)
+            positions = k - 1 - rev_index
+            for slot, pos in zip(uniq.tolist(), positions.tolist()):
+                last_use[slot // width][slot % width] = base + pos + 1
+        self._stamp = base + k
+
     def victim(self, set_index: int, valid: List[bool]) -> int:
         invalid = self._first_invalid(valid)
         if invalid is not None:
@@ -102,6 +138,21 @@ class SRRIPPolicy(ReplacementPolicy):
 
     def on_hit(self, set_index: int, way: int) -> None:
         self._rrpv[set_index][way] = 0
+
+    def on_hit_run(self, sets, ways) -> None:
+        """Bulk SRRIP promote: hits are idempotent (RRPV := 0), so one
+        write per distinct (set, way) suffices in any order."""
+        if len(sets) < 24:
+            rrpv = self._rrpv
+            for set_index, way in zip(sets.tolist(), ways.tolist()):
+                rrpv[set_index][way] = 0
+            return
+        import numpy as np
+
+        width = self.ways
+        rrpv = self._rrpv
+        for slot in np.unique(sets * width + ways).tolist():
+            rrpv[slot // width][slot % width] = 0
 
     def on_fill(self, set_index: int, way: int) -> None:
         self._rrpv[set_index][way] = self.MAX_RRPV - 1
@@ -139,6 +190,9 @@ class RandomPolicy(ReplacementPolicy):
         self._rng = random.Random(seed)
 
     def on_hit(self, set_index: int, way: int) -> None:
+        pass
+
+    def on_hit_run(self, sets, ways) -> None:
         pass
 
     def on_fill(self, set_index: int, way: int) -> None:

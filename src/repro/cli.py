@@ -289,6 +289,71 @@ def cmd_recon(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Simulator micro-bench: ops/s per backend, without the full suite.
+
+    Two workloads bound the engine's range: the miss-dominated streaming
+    sweep (the historical BENCH number, where the vector engine bails to
+    the reference loop) and the hit-heavy probe-array replay (the
+    receiver decode shape, where bulk commit dominates).
+    """
+    import gc
+    import statistics
+    import time
+
+    from repro.sim import vector
+
+    backends: List[str]
+    if args.backend == "all":
+        backends = ["scalar", "vector", "auto"]
+    else:
+        backends = [args.backend]
+    if any(b != "scalar" for b in backends) and not vector.numpy_available():
+        print(f"repro bench: numpy unavailable ({vector.numpy_error()}); "
+              f"only --backend scalar can run", file=sys.stderr)
+        return 2
+
+    n = args.accesses
+    probe = [0x100000 + i * 64 for i in range(256)]
+    workloads = [
+        ("stream 64B*7", [(i * 448) % (1 << 24) for i in range(n)], True),
+        ("probe replay", [probe[i & 255] for i in range(n)], False),
+    ]
+    gc.collect()
+    gc.freeze()
+    rows = []
+    try:
+        for wname, addrs, prefetch in workloads:
+            base_ops = None
+            for backend in backends:
+                samples = []
+                for _ in range(args.runs):
+                    config = SystemConfig.paper_default()
+                    if not prefetch:
+                        config = replace(
+                            config, hierarchy=replace(
+                                config.hierarchy, prefetchers_enabled=False))
+                    system = System(config)
+                    system.hierarchy.access_batch(0, probe, 0,
+                                                  backend="scalar")
+                    started = time.perf_counter()
+                    system.hierarchy.access_batch(0, addrs, 10_000,
+                                                  backend=backend)
+                    samples.append(n / (time.perf_counter() - started))
+                ops = statistics.median(samples)
+                if backend == "scalar":
+                    base_ops = ops
+                speedup = f"{ops / base_ops:.2f}x" if base_ops else "-"
+                rows.append((wname, backend, f"{ops:,.0f}", speedup))
+    finally:
+        gc.unfreeze()
+    print(format_table(
+        ["workload", "backend", "ops/s", "vs scalar"], rows,
+        title=f"simulator micro-bench ({n:,} accesses, "
+              f"median of {args.runs})"))
+    return 0
+
+
 def cmd_detect(args: argparse.Namespace) -> int:
     rows = []
     for name in ("drama-clflush", "impact-pnm", "impact-pum"):
@@ -410,6 +475,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("recon", help="reverse-engineer the bank function")
     p.add_argument("--mapping", choices=["row", "line", "xor"], default="xor")
     p.set_defaults(func=cmd_recon)
+
+    p = sub.add_parser(
+        "bench",
+        help="simulator micro-bench: ops/s per backend (scalar|vector|auto)")
+    p.add_argument("--backend", choices=["scalar", "vector", "auto", "all"],
+                   default="all",
+                   help="engine to time (default: all three, as a "
+                        "comparison table)")
+    p.add_argument("--accesses", type=int, default=200_000, metavar="N",
+                   help="accesses per workload per run (default 200000)")
+    p.add_argument("--runs", type=int, default=3, metavar="N",
+                   help="runs per cell, median reported (default 3)")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("detect", help="run the cache-monitor detector")
     p.add_argument("--bits", type=int, default=128)

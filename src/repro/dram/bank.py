@@ -10,6 +10,17 @@ Every access is classified as:
 Banks also track ``busy_until`` so concurrent requestors (sender/receiver,
 attacker/victim, PiM engines) serialize realistically; queuing delay is how
 the PuM channel's receiver observes contention (§4.2).
+
+Run-commit contract: the vector backend (:mod:`repro.sim.vector`) classifies
+a chained run of accesses against each bank's state arrays and then commits
+the final ``open_row`` / ``busy_until`` / ``row_opened_at`` /
+``last_activation`` values directly, bypassing :meth:`Bank.access_raw` for
+the interior of the run.  It reads the hoisted integer timings
+(``_hit_cycles``, ``_empty_cycles``, ``_conflict_cycles``, ``_rp_cycles``,
+``_timeout_cycles``) for its latency table, so any change to how this class
+derives or mutates per-access state must be mirrored there (the randomized
+equivalence tests in ``tests/test_vector_engine.py`` pin the two paths
+bit-identical).
 """
 
 from __future__ import annotations

@@ -1,0 +1,600 @@
+"""Numpy-vectorized batch engine for the simulation hot paths.
+
+``CacheHierarchy.access_batch`` and ``MemoryController.access_run`` spend
+most of their time in per-element Python dispatch: dict probes, bound
+method calls, and result-object construction for every simulated access.
+At channel-sweep scale (ROADMAP item 2) that interpreter cost is the
+throughput ceiling.  This module replaces the *interior* of those loops
+with array passes while preserving the repo's hard invariant: the vector
+backend is **bit-identical** to the reference scalar path — same
+latencies, same statistics, same replacement/row-buffer state, snapshot
+for snapshot.
+
+Design: classify, bulk-commit, fall back.
+
+- **Cache side** (:func:`access_batch_vector`): set indices and tags for
+  a whole chunk are computed with int64 array arithmetic and resolved
+  against the L1's numpy tag mirror
+  (:meth:`repro.cache.cache.Cache.tag_matrix`) in one pass.  Runs of
+  proven L1 hits commit in bulk — replacement metadata through the
+  policies' bulk-update rules
+  (:meth:`~repro.cache.replacement.ReplacementPolicy.on_hit_run`),
+  counters as single ``+= k`` increments, latencies in closed form.
+  Anything the classifier cannot prove an L1 hit (L2/LLC hits, DRAM
+  misses, demoted elements) drops to an inline copy of the reference
+  scalar body, which walks the controller, prefetchers, and fills one
+  element at a time exactly as ``access_batch`` does.
+- **Staleness is handled by demotion, never by trusting the mirror**: a
+  chunk is classified once, and every event that can remove a line from
+  L1 (an L1 fill eviction, an inclusive-LLC back-invalidation — reported
+  through the hierarchy's removal sink) demotes all not-yet-processed
+  elements on that line to the scalar path.  Demotion is always safe:
+  the scalar path re-checks everything; the only unsafe direction would
+  be trusting a stale "hit", which never happens.
+- **DRAM side** (:func:`controller_run_vector`): a back-to-back run
+  decodes every address with
+  :meth:`~repro.dram.address.AddressMapping.decode_banks_rows`,
+  classifies row hit/empty/conflict per bank with a grouped previous-row
+  compare, and derives service starts and finishes as one cumulative
+  sum.  Refresh windows, closed-row policy, constant-time defense,
+  partitions, and atomic-lock/busy windows keep the reference
+  ``controller.access`` path (so every PR 3 sanitizer invariant holds);
+  open-row-timeout violations commit the exact clean prefix and hand the
+  violating element to the scalar path.
+
+Backend selection is per call: ``backend=None`` (auto) engages the
+vector path when the batch is at least :data:`MIN_VECTOR_BATCH` elements
+and no observer is installed; ``backend="scalar"`` forces the reference
+loop; ``backend="vector"`` requires numpy and raises a clear error
+without it (but still yields the scalar path when an observer is
+attached — observers must see per-element events in order).
+``REPRO_NO_VECTOR=1`` is the global kill switch, and ``REPRO_SANITIZE``
+also forces scalar so sanitized runs always exercise the reference
+event stream.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+from repro.obs import sanitize_requested
+
+try:  # pragma: no cover - import outcome depends on the environment
+    import numpy as np
+
+    _NUMPY_ERROR: Optional[str] = None
+    _version = tuple(int(part) for part in np.__version__.split(".")[:2])
+    if _version < (1, 24):
+        _NUMPY_ERROR = (
+            f"repro.sim.vector needs numpy>=1.24 for stable int64 batch "
+            f"semantics; found numpy {np.__version__}. Upgrade with "
+            f"`pip install 'numpy>=1.24'`, or set REPRO_NO_VECTOR=1 to "
+            f"run the scalar backend only."
+        )
+        np = None  # type: ignore[assignment]
+except ImportError:
+    np = None  # type: ignore[assignment]
+    _NUMPY_ERROR = (
+        "repro.sim.vector needs numpy (declared in pyproject.toml) but it "
+        "is not importable. Install it with `pip install 'numpy>=1.24'`, "
+        "or stay on the scalar backend (backend='scalar', or set "
+        "REPRO_NO_VECTOR=1 to silence vector-backend requests)."
+    )
+
+#: Auto mode engages the vector engine at this batch length; below it the
+#: classification pass costs more than it saves.
+MIN_VECTOR_BATCH = 64
+
+#: Batches are classified and processed in chunks of this many elements,
+#: bounding demotion scans and keeping the classification close to the
+#: state it was computed against.
+CHUNK = 4096
+
+#: Below this initial L1-hit fraction a chunk runs the reference scalar
+#: loop outright — a miss-dominated chunk has no bulk-commit runs to win,
+#: and per-miss demotion scans would make the vector pass a pure loss.
+MIN_HIT_FRACTION = 0.5
+
+#: Prefix length for the miss-dominated pre-check: when a chunk is at
+#: least 8x this long, a prefix this size is classified first and a
+#: sub-threshold hit fraction there bails to the scalar loop without
+#: paying the full-chunk compare (all-miss streaming sweeps then run
+#: within ~1% of the pure scalar path).
+_SAMPLE = 256
+
+
+def numpy_available() -> bool:
+    """True when a usable numpy (>= 1.24) imported."""
+    return np is not None
+
+
+def numpy_error() -> Optional[str]:
+    """Why numpy is unusable, or ``None`` when it is available."""
+    return _NUMPY_ERROR
+
+
+def require_numpy() -> None:
+    """Raise a clear error when the vector backend was explicitly
+    requested but numpy is missing or too old."""
+    if np is None:
+        raise RuntimeError(_NUMPY_ERROR or "numpy unavailable")
+
+
+def vector_killed() -> bool:
+    """True when ``REPRO_NO_VECTOR`` globally disables the vector paths."""
+    return os.environ.get("REPRO_NO_VECTOR", "").strip().lower() \
+        not in ("", "0", "false", "no", "off")
+
+
+def resolve_backend(backend: Optional[str], count: int,
+                    observer: object) -> str:
+    """Pick ``"vector"`` or ``"scalar"`` for one batch call.
+
+    ``backend=None`` (or ``"auto"``) is auto; ``"vector"`` is a hard
+    request that raises without numpy but still falls back to scalar when
+    an observer is attached, a sanitized run was requested, or the kill
+    switch is set — those contracts outrank the caller's preference.
+    """
+    if backend == "auto":
+        backend = None
+    if backend == "scalar":
+        return "scalar"
+    if backend == "vector":
+        require_numpy()
+        if observer is not None or vector_killed() or sanitize_requested():
+            return "scalar"
+        return "vector"
+    if backend is not None:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose 'scalar', 'vector', "
+            f"or 'auto' (None)")
+    if (np is None or count < MIN_VECTOR_BATCH or observer is not None
+            or vector_killed() or sanitize_requested()):
+        return "scalar"
+    return "vector"
+
+
+# ---------------------------------------------------------------------------
+# Cache-hierarchy batch engine
+# ---------------------------------------------------------------------------
+
+
+def access_batch_vector(h, core: int, addrs, issued: int, *,
+                        is_write: bool = False, pc: Optional[int] = None,
+                        requestor: str = "cpu",
+                        collect_latencies: bool = False,
+                        ) -> Tuple[int, Optional[List[int]]]:
+    """Vectorized equivalent of ``CacheHierarchy.access_batch``.
+
+    Returns ``(finish, latencies)``; ``latencies`` is ``None`` unless
+    ``collect_latencies`` (the ``probe_batch`` shape).  The dispatcher
+    guarantees no observer is attached; the inline scalar body still
+    carries the observer hooks as guarded no-ops for defense in depth.
+    """
+    if not isinstance(addrs, (list, tuple)):
+        addrs = list(addrs)
+    latencies: Optional[List[int]] = [] if collect_latencies else None
+    now = issued
+    sink: List[int] = []
+    h._l1_removal_sink = sink
+    try:
+        for start in range(0, len(addrs), CHUNK):
+            chunk = addrs[start:start + CHUNK]
+            now = _run_chunk(h, core, chunk, now, is_write, pc, requestor,
+                             latencies, sink)
+            sink.clear()
+    finally:
+        h._l1_removal_sink = None
+    return now, latencies
+
+
+def _run_chunk(h, core: int, addrs, now: int, is_write: bool,
+               pc: Optional[int], requestor: str,
+               latencies: Optional[List[int]], sink: List[int]) -> int:
+    """Classify one chunk against the current L1 state and process it."""
+    l1 = h.l1[core]
+    n = len(addrs)
+    line_bytes = l1._line_bytes
+    addrs_np = np.asarray(addrs, dtype=np.int64)
+    lines = addrs_np // line_bytes
+    sets = lines % l1._num_sets
+    tags = l1.tag_matrix()
+    if n >= 8 * _SAMPLE:
+        # Cheap pre-check: classify a small prefix first so miss-dominated
+        # chunks (streaming sweeps) skip the full-chunk compare and go
+        # straight to the reference loop.  The prefix is only a heuristic
+        # — the authoritative per-element classification below decides
+        # what actually gets bulk-committed.
+        head = tags[sets[:_SAMPLE]] == lines[:_SAMPLE, None]
+        if float(head.any(axis=1).mean()) < MIN_HIT_FRACTION:
+            return _scalar_span(h, core, addrs, now, is_write, pc,
+                                requestor, latencies, sink)
+    match = tags[sets] == lines[:, None]
+    hit = match.any(axis=1)
+    if float(hit.mean()) < MIN_HIT_FRACTION:
+        # Miss-dominated chunk: nothing to bulk-commit — reference loop.
+        return _scalar_span(h, core, addrs, now, is_write, pc, requestor,
+                            latencies, sink)
+    ways = match.argmax(axis=1)
+    hit_l = hit.tolist()
+    sets_l = sets.tolist()
+    ways_l = ways.tolist()
+    chunk_lines = set(lines.tolist())
+
+    def drain_sink(frm: int) -> None:
+        # A line leaving L1 demotes every unprocessed element on it.
+        # Over-demotion is always safe (the scalar path re-checks), so
+        # LLC back-invalidations demote without asking whether this L1
+        # actually held the line.
+        for removed_addr in sink:
+            removed_line = removed_addr // line_bytes
+            if removed_line not in chunk_lines:
+                continue
+            for pos in np.flatnonzero(lines[frm:] == removed_line).tolist():
+                hit_l[frm + pos] = False
+        sink.clear()
+
+    lean = bool(h._pf_observe) or bool(h._inflight_fills)
+    i = 0
+    while i < n:
+        if hit_l[i]:
+            j = i + 1
+            while j < n and hit_l[j]:
+                j += 1
+            if lean:
+                now, i = _commit_hits_lean(h, core, addrs, sets_l, ways_l,
+                                           i, j, now, is_write, pc,
+                                           requestor, latencies, sink,
+                                           drain_sink, hit_l, l1)
+            else:
+                now = _commit_hits_bulk(h, sets, ways, i, j, now, is_write,
+                                        requestor, latencies, l1)
+                i = j
+        else:
+            now = _scalar_element(h, core, addrs[i], now, is_write, pc,
+                                  requestor, latencies)
+            i += 1
+            if sink:
+                drain_sink(i)
+    return now
+
+
+def _commit_hits_bulk(h, sets, ways, i: int, j: int, now: int,
+                      is_write: bool, requestor: str,
+                      latencies: Optional[List[int]], l1) -> int:
+    """Commit ``[i, j)`` — all proven L1 hits, prefetchers off, no
+    in-flight fills, so every element is a constant-latency hit — with
+    array updates equivalent to ``k`` reference iterations."""
+    k = j - i
+    lat = h._l1_latency
+    run_sets = sets[i:j]
+    run_ways = ways[i:j]
+    l1._policy.on_hit_run(run_sets, run_ways)
+    if is_write:
+        dirty = l1._dirty
+        width = l1._ways
+        for flat in np.unique(run_sets * width + run_ways).tolist():
+            dirty[flat // width][flat % width] = True
+    l1.stats.hits += k
+    stats = h.stats
+    stats.demand_accesses += k
+    rs = stats.requestor(requestor)
+    if rs.accesses == 0 and rs.clflushes == 0:
+        rs.first_seen_cycle = now
+    last_issue = now + (k - 1) * lat
+    if last_issue > rs.last_seen_cycle:
+        rs.last_seen_cycle = last_issue
+    rs.accesses += k
+    if latencies is not None:
+        latencies.extend([lat] * k)
+    return now + k * lat
+
+
+def _commit_hits_lean(h, core: int, addrs, sets_l, ways_l, i: int, j: int,
+                      now: int, is_write: bool, pc: Optional[int],
+                      requestor: str, latencies: Optional[List[int]],
+                      sink: List[int], drain_sink, hit_l, l1,
+                      ) -> Tuple[int, int]:
+    """Commit proven hits ``[i, j)`` with the prefetchers live.
+
+    Prefetcher state must evolve per element (it feeds on the demand
+    stream), so this is a lean per-element loop: replacement, stats, and
+    stall bookkeeping inlined, the two prefetcher ``observe`` calls kept
+    (inside ``_run_prefetchers``), and the heavyweight issue path only
+    when candidates appear.  A prefetch that back-invalidates a line
+    demotes the tail; the loop stops early if its own next element was
+    demoted.  Returns ``(now, next_index)``.
+    """
+    stats = h.stats
+    rs = stats.requestor(requestor)
+    rrpv = l1._rrpv
+    policy_on_hit = l1._policy_on_hit
+    dirty = l1._dirty
+    l1_stats = l1.stats
+    lat = h._l1_latency
+    inflight = h._inflight_fills
+    late_stall = h._late_prefetch_stall
+    run_prefetchers = h._run_prefetchers
+    virgin = rs.accesses == 0 and rs.clflushes == 0
+    idx = i
+    while idx < j:
+        addr = addrs[idx]
+        stall = late_stall(addr, now) if inflight else 0
+        s = sets_l[idx]
+        w = ways_l[idx]
+        if rrpv is not None:
+            rrpv[s][w] = 0
+        else:
+            policy_on_hit(s, w)
+        if is_write:
+            dirty[s][w] = True
+        l1_stats.hits += 1
+        stats.demand_accesses += 1
+        if virgin:
+            rs.first_seen_cycle = now
+            virgin = False
+        if now > rs.last_seen_cycle:
+            rs.last_seen_cycle = now
+        rs.accesses += 1
+        latency = stall + lat
+        if latencies is not None:
+            latencies.append(latency)
+        finish = now + latency
+        run_prefetchers(core, addr, pc, finish, requestor)
+        now = finish
+        idx += 1
+        if sink:
+            drain_sink(idx)
+            if idx < j and not hit_l[idx]:
+                break
+    return now, idx
+
+
+def _scalar_span(h, core: int, addrs, now: int, is_write: bool,
+                 pc: Optional[int], requestor: str,
+                 latencies: Optional[List[int]], sink: List[int]) -> int:
+    """Run a whole span through the reference scalar loop.
+
+    The removal sink is detached for the duration: the caller classifies
+    its next chunk fresh, so removals inside the span are irrelevant and
+    recording them would only queue useless demotion scans.
+    """
+    h._l1_removal_sink = None
+    try:
+        if latencies is None:
+            return h._access_batch_scalar(core, addrs, now,
+                                          is_write=is_write, pc=pc,
+                                          requestor=requestor)
+        finish, span_lat = h._probe_batch_scalar(core, addrs, now,
+                                                 is_write=is_write, pc=pc,
+                                                 requestor=requestor)
+        latencies.extend(span_lat)
+        return finish
+    finally:
+        h._l1_removal_sink = sink
+
+
+def _scalar_element(h, core: int, addr: int, now: int, is_write: bool,
+                    pc: Optional[int], requestor: str,
+                    latencies: Optional[List[int]]) -> int:
+    """One element through the reference path — a line-for-line mirror of
+    the ``access_batch`` loop body.  The hierarchy's removal sink is
+    live, so fills report the L1 lines they displace."""
+    h.stats.demand_accesses += 1
+    latency = ((h._late_prefetch_stall(addr, now) if h._inflight_fills
+                else 0) + h._l1_latency)
+    miss = False
+    if h.l1[core].access(addr, is_write=is_write):
+        pass
+    else:
+        latency += h._l2_latency
+        if h.l2[core].access(addr):
+            h._fill_l1(core, addr, is_write)
+        else:
+            latency += h._llc_latency
+            if h.llc.access(addr):
+                h._fill_upper(core, addr, is_write)
+            else:
+                mem = h.controller.access(addr, now + latency,
+                                          requestor=requestor,
+                                          is_write=is_write)
+                finish = mem.finish
+                latency = finish - now
+                h._fill_all(core, addr, is_write, time=finish,
+                            requestor=requestor)
+                miss = True
+                if h._obs is not None:  # pragma: no cover - gate keeps obs off
+                    h._obs.on_cache_miss(core, addr, now, finish, requestor)
+    h.stats.observe(requestor, now, miss=miss)
+    if latencies is not None:
+        latencies.append(latency)
+    finish = now + latency
+    h._run_prefetchers(core, addr, pc, finish, requestor)
+    return finish
+
+
+# ---------------------------------------------------------------------------
+# DRAM back-to-back run engine
+# ---------------------------------------------------------------------------
+
+_KIND_HIT = 0
+_KIND_EMPTY = 1
+_KIND_CONFLICT = 2
+
+
+def controller_run_vector(controller, addrs, issued: int, *,
+                          requestor: str = "cpu", is_write: bool = False,
+                          collect_latencies: bool = False,
+                          ) -> Tuple[int, Optional[List[int]]]:
+    """Vectorized back-to-back DRAM run (``MemoryController.access_run``).
+
+    Semantics: each access is issued at the previous access's finish.
+    The dispatcher guarantees the easy regime — open-row policy, no
+    constant-time defense, no refresh, no partitions, no observer.  The
+    remaining hazards are handled inline: an atomic-lock window or a bank
+    still busy beyond the chain's issue times runs a scalar prefix until
+    the chain clears it, and open-row-timeout violations commit the exact
+    clean prefix before handing the violating element to the scalar path.
+    """
+    latencies: Optional[List[int]] = [] if collect_latencies else None
+    addrs_np = np.asarray(addrs, dtype=np.int64)
+    banks_np, rows_np = controller.mapper.decode_banks_rows(addrs_np)
+    q = controller._queue_cycles
+    device_banks = controller.device.banks
+    now = issued
+    i = 0
+    n = len(addrs)
+    # Scalar prefix: until the chain's post-queue start time clears the
+    # atomic-lock window and every touched bank's pre-existing busy
+    # window, service starts are not the simple closed form.  Once past,
+    # they stay past: each access leaves its bank's busy_until at its own
+    # finish, which the next issue time already equals.
+    max_busy = max(device_banks[b].busy_until
+                   for b in np.unique(banks_np).tolist())
+    while i < n and (now + q < controller._locked_until
+                     or now + q < max_busy):
+        result = controller.access(addrs[i], now, requestor=requestor,
+                                   is_write=is_write)
+        if latencies is not None:
+            latencies.append(result.latency)
+        now = result.finish
+        i += 1
+    while i < n:
+        committed, now = _commit_dram_run(
+            controller, banks_np[i:], rows_np[i:], now, q, requestor,
+            is_write, latencies)
+        i += committed
+        if i < n:
+            # The element after the clean prefix tripped the open-row
+            # timeout — the reference path evaluates it exactly.
+            result = controller.access(addrs[i], now, requestor=requestor,
+                                       is_write=is_write)
+            if latencies is not None:
+                latencies.append(result.latency)
+            now = result.finish
+            i += 1
+    return now, latencies
+
+
+def _commit_dram_run(controller, banks, rows, issued: int, q: int,
+                     requestor: str, is_write: bool,
+                     latencies: Optional[List[int]],
+                     ) -> Tuple[int, int]:
+    """Classify and commit a maximal timeout-clean prefix of a run.
+
+    Returns ``(elements_committed, finish_time)``.  With the default
+    timings (``row_timeout_ns = 0`` — timeout disabled) the whole run
+    commits; otherwise the prefix before the first open-row-timeout
+    violation commits (optimistic times are exact up to that point — a
+    violation only changes its own and later elements' latencies).
+    """
+    device_banks = controller.device.banks
+    ref_bank = device_banks[0]
+    hit_c = ref_bank._hit_cycles
+    empty_c = ref_bank._empty_cycles
+    conflict_c = ref_bank._conflict_cycles
+    rp = ref_bank._rp_cycles
+    timeout = ref_bank._timeout_cycles
+    n = len(banks)
+    order = np.argsort(banks, kind="stable")
+    sorted_banks = banks[order]
+    sorted_rows = rows[order]
+    # Previous row touched on the same bank within the run; the initial
+    # open row (or -1 for precharged) for each bank's first touch.
+    prev_rows = np.empty(n, dtype=np.int64)
+    prev_rows[1:] = sorted_rows[:-1]
+    first_mask = np.empty(n, dtype=bool)
+    first_mask[0] = True
+    first_mask[1:] = sorted_banks[1:] != sorted_banks[:-1]
+    uniq_banks = sorted_banks[first_mask].tolist()
+    init_rows = np.array([_open_row_int(device_banks[b])
+                          for b in uniq_banks], dtype=np.int64)
+    group_ordinal = np.cumsum(first_mask) - 1
+    prev_rows[first_mask] = init_rows[group_ordinal[first_mask]]
+
+    kinds_sorted = np.where(
+        prev_rows < 0, _KIND_EMPTY,
+        np.where(prev_rows == sorted_rows, _KIND_HIT, _KIND_CONFLICT))
+    kinds = np.empty(n, dtype=np.int64)
+    kinds[order] = kinds_sorted
+    lat_table = np.array([hit_c, empty_c, conflict_c], dtype=np.int64)
+    lats = lat_table[kinds]
+    finishes = issued + np.cumsum(lats + q)
+    service_starts = finishes - lats
+
+    commit = n
+    if timeout > 0:
+        finishes_sorted = finishes[order]
+        last_act_sorted = np.empty(n, dtype=np.int64)
+        last_act_sorted[1:] = finishes_sorted[:-1]
+        init_act = np.array([device_banks[b].last_activation
+                             for b in uniq_banks], dtype=np.int64)
+        last_act_sorted[first_mask] = init_act[group_ordinal[first_mask]]
+        ss_sorted = service_starts[order]
+        violated_sorted = (prev_rows >= 0) & (
+            ss_sorted - last_act_sorted > timeout)
+        violated = np.empty(n, dtype=bool)
+        violated[order] = violated_sorted
+        bad = np.flatnonzero(violated)
+        if bad.size:
+            commit = int(bad[0])
+            if commit == 0:
+                return 0, issued
+            banks = banks[:commit]
+            rows = rows[:commit]
+            kinds = kinds[:commit]
+            lats = lats[:commit]
+            finishes = finishes[:commit]
+            service_starts = service_starts[:commit]
+
+    if latencies is not None:
+        # Reference latency is finish - issue, which includes the queue
+        # overhead (service_start = previous finish + queue_cycles).
+        latencies.extend((lats + q).tolist())
+
+    # Per-bank bulk state commit: the bank's last access in the run
+    # decides its row-buffer state; per-kind counts feed the stats.
+    hits = int(np.count_nonzero(kinds == _KIND_HIT))
+    empties = int(np.count_nonzero(kinds == _KIND_EMPTY))
+    conflicts = commit - hits - empties
+    for bank_index in np.unique(banks).tolist():
+        bank = device_banks[bank_index]
+        positions = np.flatnonzero(banks == bank_index)
+        last = int(positions[-1])
+        bank.open_row = int(rows[last])
+        bank.busy_until = int(finishes[last])
+        bank.last_activation = int(finishes[last])
+        bank_kinds = kinds[positions]
+        bank_hits = int(np.count_nonzero(bank_kinds == _KIND_HIT))
+        bank_empties = int(np.count_nonzero(bank_kinds == _KIND_EMPTY))
+        bank_conflicts = positions.size - bank_hits - bank_empties
+        stats = bank.stats
+        stats.hits += bank_hits
+        stats.empties += bank_empties
+        stats.conflicts += bank_conflicts
+        stats.activations += bank_empties + bank_conflicts
+        non_hit = np.flatnonzero(bank_kinds != _KIND_HIT)
+        if non_hit.size:
+            # row_opened_at tracks the open row's activation start: the
+            # bank's last EMPTY opens at its service start, a CONFLICT
+            # after the precharge completes; a pure-HIT group leaves it.
+            pos = int(positions[non_hit[-1]])
+            if kinds[pos] == _KIND_EMPTY:
+                bank.row_opened_at = int(service_starts[pos])
+            else:
+                bank.row_opened_at = int(service_starts[pos]) + rp
+    rstats = controller._stats_for(requestor)
+    if is_write:
+        rstats.writes += commit
+    else:
+        rstats.reads += commit
+    rstats.hits += hits
+    rstats.conflicts += conflicts
+    return commit, int(finishes[-1])
+
+
+def _open_row_int(bank) -> int:
+    """The bank's open row with ``None`` (precharged) encoded as -1."""
+    row = bank.open_row
+    return -1 if row is None else row
