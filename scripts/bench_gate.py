@@ -5,6 +5,14 @@ Measures the raw demand-access rate (the ``simulator`` section of the
 bench-quick record) fresh, compares it against the newest committed
 ``BENCH_PR*.json`` at the repo root, and fails when the fresh number
 drops more than ``--threshold`` (default 15%) below the committed one.
+When the committed record carries a ``simulator_miss_batch`` section
+(PR 7+), the vectorized miss engine's conflict-replay *speedup* (vector
+vs scalar, both measured fresh back-to-back so host-speed drift cancels
+out of the ratio) is gated against the recorded speedup — absolute
+ops/s on that row swings more than the threshold between runs on a
+shared single-vCPU runner, but the ratio is stable.  Older records
+without the section skip that check rather than fail, so the gate stays
+usable across the PR 6 -> PR 7 boundary.
 Intended as a cheap CI step — it runs only the simulator micro-bench
 (median of ``--runs`` samples on a quiesced heap, seconds not minutes),
 not the figure sweeps::
@@ -36,7 +44,7 @@ sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 
 def newest_baseline(root: str) -> "tuple":
-    """``(path, ops_per_sec)`` of the highest-numbered BENCH_PR*.json
+    """``(path, record)`` of the highest-numbered BENCH_PR*.json
     carrying a simulator section."""
     best = None
     for path in glob.glob(os.path.join(root, "BENCH_PR*.json")):
@@ -45,12 +53,13 @@ def newest_baseline(root: str) -> "tuple":
             continue
         try:
             with open(path) as handle:
-                ops = json.load(handle)["simulator"]["ops_per_sec"]
+                record = json.load(handle)
+            record["simulator"]["ops_per_sec"]
         except (OSError, KeyError, ValueError):
             continue
         rank = int(match.group(1))
         if best is None or rank > best[0]:
-            best = (rank, path, ops)
+            best = (rank, path, record)
     if best is None:
         return None, None
     return best[1], best[2]
@@ -86,6 +95,60 @@ def measure(runs: int) -> dict:
     }
 
 
+def measure_miss_batch(runs: int) -> dict:
+    """Fresh miss-engine conflict-replay speedup: the same pattern as
+    bench-quick's ``simulator_miss_batch.conflict_replay`` row (see
+    ``scripts/bench_snapshot.py``).  Scalar and vector are *interleaved*
+    — ``runs`` back-to-back pairs, each pair yielding one vector/scalar
+    ratio — and the gate judges the best pair.  Both sides are
+    re-measured because absolute rates on a shared runner drift more
+    than the gate threshold between the snapshot and the check; pairing
+    adjacent-in-time samples makes the two sides see the same host
+    speed, so a slow window landing mid-measurement degrades one pair's
+    ratio, not the whole check (a best-of-each-side ratio is worse: the
+    two bests can come from different windows)."""
+    import dataclasses
+    import gc
+
+    from repro.config import SystemConfig
+    from repro.system import System
+
+    from bench_snapshot import conflict_replay_addrs
+
+    gc.collect()
+    gc.freeze()
+    n = 100_000
+    record = {"accesses": n, "runs": runs}
+    ratios = []
+    samples = {"scalar": [], "vector": []}
+    try:
+        for _ in range(runs):
+            pair = {}
+            for backend in ("scalar", "vector"):
+                config = SystemConfig.paper_default()
+                config = dataclasses.replace(
+                    config, hierarchy=dataclasses.replace(
+                        config.hierarchy, prefetchers_enabled=False))
+                system = System(config)
+                addrs = conflict_replay_addrs(system, n)
+                started = time.perf_counter()
+                system.hierarchy.access_batch(0, addrs, 0,
+                                              backend=backend)
+                pair[backend] = n / (time.perf_counter() - started)
+                samples[backend].append(round(pair[backend]))
+            ratios.append(pair["vector"] / pair["scalar"])
+    finally:
+        gc.unfreeze()
+    best = max(range(len(ratios)), key=lambda i: ratios[i])
+    record["scalar"] = {"samples": samples["scalar"],
+                        "ops_per_sec": samples["scalar"][best]}
+    record["vector"] = {"samples": samples["vector"],
+                        "ops_per_sec": samples["vector"][best]}
+    record["ratios"] = [round(r, 2) for r in ratios]
+    record["speedup"] = ratios[best]
+    return record
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--threshold", type=float, default=0.15,
@@ -111,29 +174,62 @@ def main(argv=None) -> int:
         path = args.baseline
         try:
             with open(path) as handle:
-                baseline_ops = json.load(handle)["simulator"]["ops_per_sec"]
+                baseline = json.load(handle)
+            baseline["simulator"]["ops_per_sec"]
         except (OSError, KeyError, ValueError) as exc:
             print(f"bench gate: cannot read baseline {path}: {exc}")
             return 2
     else:
-        path, baseline_ops = newest_baseline(REPO_ROOT)
+        path, baseline = newest_baseline(REPO_ROOT)
         if path is None:
             print("bench gate: no committed BENCH_PR*.json baseline; "
                   "nothing to gate against")
             return 0
 
+    failed = False
+    baseline_ops = baseline["simulator"]["ops_per_sec"]
     floor = baseline_ops * (1.0 - args.threshold)
     verdict = "OK" if fresh["ops_per_sec"] >= floor else "FAIL"
     print(f"baseline {os.path.basename(path)}: {baseline_ops:,} ops/s; "
           f"floor at -{args.threshold:.0%}: {floor:,.0f} ops/s -> {verdict}")
     if verdict == "FAIL":
+        failed = True
         drop = 1.0 - fresh["ops_per_sec"] / baseline_ops
         print(f"bench gate: simulator hot path dropped {drop:.1%} vs "
               f"{os.path.basename(path)} (limit {args.threshold:.0%}). "
               f"If the change intentionally trades speed, refresh the "
               f"committed record via `make bench-quick`.")
-        return 1
-    return 0
+
+    try:
+        miss_baseline = float(
+            baseline["simulator_miss_batch"]["conflict_replay"]["speedup"])
+    except (KeyError, TypeError, ValueError):
+        print("bench gate: baseline has no simulator_miss_batch section "
+              "(pre-PR 7 record); skipping the miss-engine gate")
+        miss_baseline = None
+    if miss_baseline is not None:
+        fresh_miss = measure_miss_batch(args.runs)
+        print(f"fresh miss-engine conflict replay: "
+              f"{fresh_miss['scalar']['ops_per_sec']:,} ops/s scalar vs "
+              f"{fresh_miss['vector']['ops_per_sec']:,} ops/s vector "
+              f"({fresh_miss['speedup']:.2f}x, best of "
+              f"{fresh_miss['runs']} interleaved pairs; ratios "
+              f"{', '.join(f'{r:.2f}' for r in fresh_miss['ratios'])})")
+        miss_floor = miss_baseline * (1.0 - args.threshold)
+        miss_ok = fresh_miss["speedup"] >= miss_floor
+        print(f"miss-engine baseline {os.path.basename(path)}: "
+              f"{miss_baseline:.2f}x speedup; floor at "
+              f"-{args.threshold:.0%}: {miss_floor:.2f}x -> "
+              f"{'OK' if miss_ok else 'FAIL'}")
+        if not miss_ok:
+            failed = True
+            drop = 1.0 - fresh_miss["speedup"] / miss_baseline
+            print(f"bench gate: miss-engine conflict-replay speedup "
+                  f"dropped {drop:.1%} vs {os.path.basename(path)} (limit "
+                  f"{args.threshold:.0%}). If the change intentionally "
+                  f"trades speed, refresh the committed record via "
+                  f"`make bench-quick`.")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -5,7 +5,7 @@ Runs a reduced slice of every figure sweep through :mod:`repro.exp`
 (parallel + cached exactly like the benches), times raw simulator,
 scheduler, and warm-up/snapshot microbenchmarks, measures the
 warm-state store's cold-vs-warm figure passes, and writes the whole
-record to ``BENCH_PR6.json`` at the repo root.  Intended for
+record to ``BENCH_PR7.json`` at the repo root.  Intended for
 ``make bench-quick``::
 
     PYTHONPATH=src python scripts/bench_snapshot.py [--jobs N] [--no-cache]
@@ -49,8 +49,8 @@ from repro.exp.figures import (  # noqa: E402
 
 CACHE_DIR = os.path.join(REPO_ROOT, "benchmarks", "results", ".cache")
 WARM_DIR = os.path.join(REPO_ROOT, "benchmarks", "results", ".warmstore")
-OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR6.json")
-BASELINE = os.path.join(REPO_ROOT, "BENCH_PR5.json")
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR7.json")
+BASELINE = os.path.join(REPO_ROOT, "BENCH_PR6.json")
 
 # Reduced axes: one quick pass over every figure, a couple of minutes
 # serial and cold, seconds warm or parallel.
@@ -156,8 +156,8 @@ def simulator_ops_per_sec() -> dict:
 
     Driven through ``access_batch`` with the vector backend on — the code
     path the figure sweeps actually execute (this stream is miss-dominated,
-    so the engine's sampling pre-check routes it to the hoisted reference
-    loop; hit-heavy streams take the bulk-commit path measured by
+    so with prefetchers live the engine's sampling pre-check routes it to
+    the hoisted reference loop; hit-heavy streams take the bulk-commit path measured by
     :func:`simulator_batch_ops_per_sec`).  Median of three runs on a
     quiesced heap (see :func:`_quiesce_heap`) so the number tracks
     access-path cost, not allocator history.
@@ -228,6 +228,83 @@ def simulator_batch_ops_per_sec() -> dict:
         gc.unfreeze()
     record["speedup"] = round(record["vector"]["ops_per_sec"]
                               / record["scalar"]["ops_per_sec"], 2)
+    return record
+
+
+def conflict_replay_addrs(system, count):
+    """Bank-conflict-alternating replay, spread across cache sets.
+
+    Adjacent accesses alternate two rows of the same bank (every access
+    a row-buffer conflict — the covert-channel sender/receiver shape),
+    while the line addresses walk distinct sets so no cache level
+    filters the stream: every access is a full miss.  This is the
+    pattern the PR 7 miss engine bulk-commits.
+    """
+    nb = system.num_banks
+    addrs = []
+    for i in range(count):
+        bank = (i // 2) % nb
+        col = (i // (2 * nb)) % 128
+        pair = i // (2 * nb * 128)
+        row = 2 * pair + (i & 1)
+        addrs.append(system.address_of(bank, row % 4096, col * 64))
+    return addrs
+
+
+def simulator_miss_batch_ops_per_sec() -> dict:
+    """Miss-dominated batch hot path: scalar reference vs the vectorized
+    miss engine (PR 7 headline).
+
+    Two shapes, each 100k accesses with prefetchers off:
+
+    - ``conflict_replay`` — every access a full miss *and* a DRAM
+      row-buffer conflict (see :func:`conflict_replay_addrs`); the
+      acceptance pattern, gated at >=5x by ``scripts/bench_gate.py``.
+    - ``streaming_sweep`` — a sequential line sweep, the fig11
+      streaming shape.
+
+    Best of three per backend on a quiesced heap: the ratio of two
+    best-case samples is far more stable on a noisy shared runner than
+    a ratio of medians, and the engine's cost model is deterministic —
+    slower samples are scheduler noise, not the code under test.
+    """
+    from repro.config import SystemConfig
+    from repro.system import System
+
+    _quiesce_heap()
+    n = 100_000
+    record = {"accesses": n}
+    try:
+        for pattern in ("conflict_replay", "streaming_sweep"):
+            entry = {}
+            for backend in ("scalar", "vector"):
+                best = None
+                for _ in range(3):
+                    config = SystemConfig.paper_default()
+                    config = dataclasses.replace(
+                        config, hierarchy=dataclasses.replace(
+                            config.hierarchy, prefetchers_enabled=False))
+                    system = System(config)
+                    if pattern == "conflict_replay":
+                        addrs = conflict_replay_addrs(system, n)
+                    else:
+                        addrs = [0x2000000 + i * 64 for i in range(n)]
+                    started = time.perf_counter()
+                    system.hierarchy.access_batch(0, addrs, 0,
+                                                  backend=backend)
+                    elapsed = time.perf_counter() - started
+                    if best is None or elapsed < best:
+                        best = elapsed
+                entry[backend] = {
+                    "seconds": round(best, 4),
+                    "ops_per_sec": round(n / best),
+                }
+            entry["speedup"] = round(entry["vector"]["ops_per_sec"]
+                                     / entry["scalar"]["ops_per_sec"], 2)
+            record[pattern] = entry
+    finally:
+        gc.unfreeze()
+    record["speedup"] = record["conflict_replay"]["speedup"]
     return record
 
 
@@ -341,6 +418,16 @@ def main(argv=None) -> int:
     print(f"batch: {batch['scalar']['ops_per_sec']:,}/sec scalar vs "
           f"{batch['vector']['ops_per_sec']:,}/sec vector "
           f"({batch['speedup']}x)")
+
+    print("timing miss-dominated batch hot path (scalar vs vector)...")
+    record["simulator_miss_batch"] = simulator_miss_batch_ops_per_sec()
+    miss = record["simulator_miss_batch"]
+    for pattern in ("conflict_replay", "streaming_sweep"):
+        entry = miss[pattern]
+        print(f"miss batch [{pattern}]: "
+              f"{entry['scalar']['ops_per_sec']:,}/sec scalar vs "
+              f"{entry['vector']['ops_per_sec']:,}/sec vector "
+              f"({entry['speedup']}x)")
 
     print("timing scheduler checkpoints...")
     record["scheduler"] = scheduler_checkpoints_per_sec()

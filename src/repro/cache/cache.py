@@ -136,6 +136,13 @@ class Cache:
         self._np_tags = None
         self._np_pending: List[tuple] = []
         self._np_stale = False
+        # Count of dirty lines currently resident.  The vector miss
+        # engine's bulk commit is only legal when a cache is provably
+        # all-clean (no victim anywhere in a span can trigger a
+        # write-back), and scanning every set's dirty row per span would
+        # cost more than the commit itself — so every dirty-bit
+        # transition maintains this counter instead.
+        self._dirty_lines = 0
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -179,7 +186,10 @@ class Cache:
         else:
             self._policy_on_hit(set_index, way)
         if is_write:
-            self._dirty[set_index][way] = True
+            dirty_row = self._dirty[set_index]
+            if not dirty_row[way]:
+                dirty_row[way] = True
+                self._dirty_lines += 1
         self.stats.hits += 1
         return True
 
@@ -200,7 +210,10 @@ class Cache:
             else:
                 self._policy_on_hit(set_index, existing)
             if dirty:
-                self._dirty[set_index][existing] = True
+                dirty_row = self._dirty[set_index]
+                if not dirty_row[existing]:
+                    dirty_row[existing] = True
+                    self._dirty_lines += 1
             return None
         valid = self._valid[set_index]
         if rrpv_all is not None:
@@ -230,10 +243,13 @@ class Cache:
             stats.evictions += 1
             if old_dirty:
                 stats.writebacks += 1
+                self._dirty_lines -= 1
         tags[way] = line
         where[line] = way
         valid[way] = True
         dirty_bits[way] = dirty
+        if dirty:
+            self._dirty_lines += 1
         if self._np_tags is not None:
             self._np_pending.append((set_index, way, line))
         if rrpv_all is not None:
@@ -253,6 +269,8 @@ class Cache:
         if way is None:
             return None
         dirty = self._dirty[set_index][way]
+        if dirty:
+            self._dirty_lines -= 1
         self._valid[set_index][way] = False
         self._dirty[set_index][way] = False
         self._tags[set_index][way] = -1
@@ -268,14 +286,18 @@ class Cache:
 
         Lazy and patch-coherent: built on first call, then kept in sync
         by replaying the ``(set, way, line)`` patches :meth:`fill` and
-        :meth:`invalidate` log; a wholesale :meth:`restore_state` or an
-        oversized patch backlog triggers a full rebuild.  Only the vector
-        engine calls this — a cache that never sees a vector batch never
+        :meth:`invalidate` log; a wholesale :meth:`restore_state` or a
+        patch backlog above a third of the matrix triggers a full
+        rebuild (the miss engine logs one patch per fill, so a large
+        cache must absorb a whole chunk's worth of patches by replay —
+        only a backlog comparable to the matrix itself is worth the
+        wholesale ``np.array`` conversion).  Only the vector engine
+        calls this — a cache that never sees a vector batch never
         allocates the mirror.
         """
         mirror = self._np_tags
         if (mirror is None or self._np_stale
-                or len(self._np_pending) > self._num_sets):
+                or len(self._np_pending) * 3 > self._num_sets * self._ways):
             mirror = _np.array(self._tags, dtype=_np.int64)
             self._np_tags = mirror
             self._np_stale = False
@@ -328,6 +350,7 @@ class Cache:
         # wholesale-replaced tags; rebuild it on next use.
         self._np_stale = True
         self._np_pending.clear()
+        self._dirty_lines = sum(row.count(True) for row in self._dirty)
         self.stats = CacheStats(*state["stats"])
 
     @property

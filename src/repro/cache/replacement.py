@@ -48,6 +48,40 @@ class ReplacementPolicy:
         """Choose the way to evict (an invalid way is preferred)."""
         raise NotImplementedError
 
+    def select_victims_bulk(self, sets, invalid_ways):
+        """Victim way per set for a batch of pending fills — the miss-path
+        companion to :meth:`on_hit_run` (used by ``repro.sim.vector``).
+
+        ``sets`` is a numpy int array of set indices; ``invalid_ways[i]``
+        is the first invalid way of ``sets[i]`` (or ``-1`` when the set is
+        full), precomputed by the caller from its tag mirror.  Returns a
+        numpy int array of victim ways.
+
+        Contract for the LRU/SRRIP overrides: the computation is **pure**
+        — it reads replacement state but never writes it.  Fill-time
+        transitions (LRU stamping, SRRIP aging + insert) are applied by
+        the caller per committed element, so planning victims for
+        elements that never commit leaves no trace.  The caller must only
+        consult entries whose set state is unchanged since the call (in
+        practice: the first occurrence of each set in the batch).
+
+        The base implementation replays :meth:`victim`, which **may
+        mutate** stateful policies (e.g. :class:`RandomPolicy` advances
+        its RNG) — the vector engine therefore only bulk-plans for
+        LRU/SRRIP and computes other policies' victims inline at fill
+        time.
+        """
+        import numpy as np
+
+        ways = self.ways
+        out = []
+        for set_index, invalid in zip(sets.tolist(), invalid_ways.tolist()):
+            if invalid >= 0:
+                out.append(invalid)
+            else:
+                out.append(self.victim(set_index, [True] * ways))
+        return np.asarray(out, dtype=np.int64)
+
     def snapshot_state(self):
         """Copied replacement metadata for warm-state snapshots."""
         return None
@@ -112,6 +146,18 @@ class LRUPolicy(ReplacementPolicy):
         uses = self._last_use[set_index]
         return uses.index(min(uses))
 
+    def select_victims_bulk(self, sets, invalid_ways):
+        """Pure bulk LRU victims: row-wise argmin over the gathered
+        last-use stamps.  ``argmin`` breaks ties at the first occurrence,
+        exactly like ``uses.index(min(uses))``."""
+        import numpy as np
+
+        last_use = self._last_use
+        rows = np.array([last_use[s] for s in sets.tolist()],
+                        dtype=np.int64)
+        victims = rows.argmin(axis=1).astype(np.int64)
+        return np.where(invalid_ways >= 0, invalid_ways, victims)
+
     def snapshot_state(self):
         return self._stamp, [list(row) for row in self._last_use]
 
@@ -171,6 +217,22 @@ class SRRIPPolicy(ReplacementPolicy):
             # in one shot — equivalent to repeated +1 rounds.
             step = max_rrpv - max(rrpvs)
             rrpvs[:] = [r + step for r in rrpvs]
+
+    def select_victims_bulk(self, sets, invalid_ways):
+        """Pure bulk SRRIP victims: for each gathered RRPV row, one-shot
+        aging by ``MAX_RRPV - max(row)`` then the first way at the
+        maximum — the closed form of :meth:`victim`'s age-and-rescan
+        loop, computed without touching the stored RRPVs (the caller
+        applies aging + insert at fill time, where ``Cache.fill``'s
+        inlined SRRIP body recomputes the aging exactly)."""
+        import numpy as np
+
+        rrpv = self._rrpv
+        rows = np.array([rrpv[s] for s in sets.tolist()], dtype=np.int64)
+        step = self.MAX_RRPV - rows.max(axis=1)
+        victims = (rows + step[:, None] == self.MAX_RRPV).argmax(axis=1)
+        return np.where(invalid_ways >= 0, invalid_ways,
+                        victims.astype(np.int64))
 
     def snapshot_state(self):
         return [list(row) for row in self._rrpv]

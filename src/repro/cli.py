@@ -292,10 +292,13 @@ def cmd_recon(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     """Simulator micro-bench: ops/s per backend, without the full suite.
 
-    Two workloads bound the engine's range: the miss-dominated streaming
-    sweep (the historical BENCH number, where the vector engine bails to
-    the reference loop) and the hit-heavy probe-array replay (the
-    receiver decode shape, where bulk commit dominates).
+    Three workloads bound the engine's range: the prefetcher-live
+    streaming sweep (the historical BENCH number, where the vector
+    engine bails to the reference loop), the hit-heavy probe-array
+    replay (the receiver decode shape, where bulk hit commit
+    dominates), and the bank-conflict-alternating replay (the covert
+    channel's full-miss shape, where the PR 7 miss engine bulk-commits
+    whole DRAM conflict runs).
     """
     import gc
     import statistics
@@ -315,9 +318,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     n = args.accesses
     probe = [0x100000 + i * 64 for i in range(256)]
+    # The conflict replay alternates two rows of one bank per access
+    # pair while walking distinct cache lines: every access is both a
+    # full miss and a row-buffer conflict.  Addresses depend only on
+    # the (fixed) paper mapping, so one throwaway system builds them.
+    mapper = System(SystemConfig.paper_default())
+    conflict = []
+    for i in range(n):
+        bank = (i // 2) % mapper.num_banks
+        col = (i // (2 * mapper.num_banks)) % 128
+        pair = i // (2 * mapper.num_banks * 128)
+        conflict.append(mapper.address_of(
+            bank, (2 * pair + (i & 1)) % 4096, col * 64))
     workloads = [
         ("stream 64B*7", [(i * 448) % (1 << 24) for i in range(n)], True),
         ("probe replay", [probe[i & 255] for i in range(n)], False),
+        ("conflict replay", conflict, False),
     ]
     gc.collect()
     gc.freeze()

@@ -96,7 +96,20 @@ class BankStats:
 
 @dataclass
 class Bank:
-    """One DRAM bank: row-buffer state machine plus busy-time bookkeeping."""
+    """One DRAM bank: row-buffer state machine plus busy-time bookkeeping.
+
+    Run-commit contract: :meth:`access_raw` is the reference transition,
+    but the vector engine's bulk committers (``MemoryController.
+    access_run`` and the miss engine's span commit in
+    :mod:`repro.sim.vector`) write the same state directly — ``open_row``
+    and ``busy_until``/``last_activation`` land at the bank's last access
+    in the run, ``row_opened_at`` at the service start of the activation
+    that opened the surviving row, and ``stats`` counters are added in
+    bulk.  A bulk commit must leave every field exactly where a chain of
+    ``access_raw`` calls at the same issue times would (the bit-identity
+    tests pin this), so any new per-access state added here has to be
+    threaded through those committers too.
+    """
 
     index: int
     timings: DRAMTimings

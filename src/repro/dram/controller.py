@@ -279,14 +279,15 @@ class MemoryController:
         ``backend`` mirrors :meth:`CacheHierarchy.access_batch`: auto
         (None) engages the numpy run engine (:mod:`repro.sim.vector`) for
         large runs when no observer is attached *and* no defense needs
-        per-request arbitration — refresh, closed-row, constant-time, and
-        partitioning always take the reference path, so every sanitizer
-        invariant holds unchanged.
+        per-request arbitration — closed-row and constant-time always
+        take the reference path (so every sanitizer invariant holds
+        unchanged), while refresh windows and partition boundaries
+        *split* runs inside the engine: the clean prefix commits in bulk
+        and the boundary element runs through the reference path, which
+        applies the refresh or raises the partition error exactly.
         """
         vector = _vector_module()
-        eligible = (not self._partition and not self._close_after
-                    and not self._constant_time
-                    and not self._refresh_enabled)
+        eligible = not self._close_after and not self._constant_time
         if eligible and not hasattr(addrs, "__len__"):
             addrs = list(addrs)
         choice = (vector.resolve_backend(backend, len(addrs), self._obs)

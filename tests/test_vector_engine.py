@@ -204,18 +204,41 @@ def test_sanitized_runs_stay_bit_identical(monkeypatch):
     assert sanitized == plain
 
 
-def test_observer_forces_scalar():
+def test_observer_falls_back_on_auto_but_raises_when_explicit():
     system = System(_config(), sanitize=True)
-    assert system.hierarchy._obs is not None
-    assert vector.resolve_backend("vector", 10_000,
-                                  system.hierarchy._obs) == "scalar"
-    # The sanitized system still accepts backend="vector" and produces
-    # the reference result (silently via the scalar path).
+    obs = system.hierarchy._obs
+    assert obs is not None
+    # Auto silently falls back to the reference loop...
+    assert vector.resolve_backend(None, 10_000, obs) == "scalar"
+    # ...but an *explicit* vector request with an observer attached is a
+    # configuration error and says so (PR 7 gating-asymmetry fix).  The
+    # environment-level downgrades outrank it: under the kill switch or
+    # REPRO_SANITIZE the explicit request silently runs scalar instead
+    # (sanitized runs attach an observer to *every* system, so raising
+    # would break every backend="vector" call site in sanitize CI).
     probe = [0x100000 + i * 64 for i in range(64)]
-    finish = system.hierarchy.access_batch(0, probe, 0, backend="vector")
+    if vector.vector_killed() or vector.sanitize_requested():
+        assert vector.resolve_backend("vector", 10_000, obs) == "scalar"
+    else:
+        with pytest.raises(RuntimeError, match="observer attached"):
+            vector.resolve_backend("vector", 10_000, obs)
+        with pytest.raises(RuntimeError, match="set_observer"):
+            system.hierarchy.access_batch(0, probe, 0, backend="vector")
+    # Detaching the observer or passing backend="scalar" both work.
+    finish = system.hierarchy.access_batch(0, probe, 0, backend="scalar")
     twin = System(_config())
     assert finish == twin.hierarchy.access_batch(0, probe, 0,
                                                  backend="scalar")
+
+
+def test_explicit_vector_without_numpy_raises(monkeypatch):
+    monkeypatch.setattr(vector, "np", None)
+    monkeypatch.setattr(vector, "_NUMPY_ERROR",
+                        "repro.sim.vector needs numpy>=1.24 (test stub)")
+    with pytest.raises(RuntimeError, match="needs numpy"):
+        vector.resolve_backend("vector", 10_000, None)
+    # Auto quietly degrades to the scalar reference loop instead.
+    assert vector.resolve_backend(None, 10_000, None) == "scalar"
 
 
 def test_kill_switch_disables_vector(monkeypatch):
@@ -347,9 +370,11 @@ def test_dram_run_matches_scalar(mapping, row_timeout_ns):
             == _run_dram_stream(config, "scalar", 8))
 
 
-def test_dram_run_refresh_falls_back_to_scalar():
-    # Refresh windows make a run ineligible for the vector engine; the
-    # call must still work and match a hand-chained access loop.
+def test_dram_run_with_refresh_matches_chained_access_calls():
+    # Refresh windows *split* vectorized runs (PR 7): the clean prefix
+    # commits in bulk and each boundary element takes the reference path,
+    # which applies the window — the result must match a hand-chained
+    # access loop exactly, including every refresh-lengthened latency.
     config = _config(refresh=True)
     system = System(config)
     addrs = [0x40000 + (i % 64) * 64 for i in range(500)]
