@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-quick bench-clean examples results clean
+.PHONY: install test bench bench-quick bench-serve bench-clean examples results clean
 
 install:
 	pip install -e . || pip install -e . --no-build-isolation
@@ -11,6 +11,9 @@ bench:
 
 bench-quick:
 	python scripts/bench_snapshot.py
+
+bench-serve:
+	python scripts/bench_serve.py
 
 bench-clean:
 	rm -rf benchmarks/results/.cache benchmarks/results/.warmstore

@@ -278,6 +278,92 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the simulation-as-a-service daemon: many clients submit sweeps
+    over JSON-lines TCP, scheduled fair-share onto the persistent
+    fork-server pool with result-cache / warm-store / in-flight dedup."""
+    import asyncio
+    import os
+
+    from repro.exp.cache import ResultCache
+    from repro.serve import ServeScheduler
+    from repro.serve.server import run_server
+
+    if args.warm_dir:
+        os.environ["REPRO_WARMSTORE_DIR"] = args.warm_dir
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+
+    async def _main() -> None:
+        scheduler = ServeScheduler(jobs=args.jobs, cache=cache,
+                                   use_pool=not args.no_pool)
+        await run_server(scheduler, args.host, args.port,
+                         port_file=args.port_file)
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a sweep to a running ``repro serve`` daemon and stream its
+    progress; also the CLI surface for the daemon's metrics/status."""
+    import json
+
+    from repro.serve import ServeClient, ServeError
+
+    try:
+        client = ServeClient(host=args.host, port=args.port,
+                             timeout=args.timeout)
+    except OSError as exc:
+        print(f"cannot reach repro serve at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.metrics or args.status:
+            payload = client.metrics() if args.metrics else client.status()
+            print(json.dumps(payload, indent=2, default=str))
+            return 0
+        if args.shutdown:
+            client.shutdown_server()
+            print("daemon shutting down")
+            return 0
+        if not args.experiment and not args.fn:
+            print("submit needs an experiment or --fn (or --metrics/"
+                  "--status/--shutdown)", file=sys.stderr)
+            return 2
+        if args.points:
+            point_params = json.loads(args.points)
+        elif args.axis:
+            point_params = [{args.axis: value}
+                            for value in (json.loads(v) for v in args.values)]
+        else:
+            point_params = [{}]
+
+        def _progress(event):
+            if event.get("event") == "point":
+                print(f"  point {event['index']}: {event['source']} "
+                      f"({event['elapsed_s']:.2f}s)")
+
+        try:
+            job = client.submit(args.experiment, point_params,
+                                fn=args.fn, priority=args.priority,
+                                on_event=_progress if not args.quiet
+                                else None)
+        except ServeError as exc:
+            print(f"rejected: {exc}", file=sys.stderr)
+            return 1
+        status = "ok" if job.ok else f"FAILED ({'; '.join(job.errors)})"
+        print(f"{job.job_id}: {len(job.results)} points in "
+              f"{job.elapsed_seconds:.2f}s, warm {job.warm_hits} hit / "
+              f"{job.warm_misses} miss — {status}")
+        print(json.dumps(job.results, indent=2, default=str))
+        return 0 if job.ok else 1
+    finally:
+        client.close()
+
+
 def cmd_recon(args: argparse.Namespace) -> int:
     config = _config(args)
     system = System(config)
@@ -508,6 +594,56 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("detect", help="run the cache-monitor detector")
     p.add_argument("--bits", type=int, default=128)
     p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service daemon (JSON-lines TCP over "
+             "the persistent worker pool)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9306,
+                   help="listen port; 0 picks a free one (default 9306)")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="max concurrent points (default: CPU count)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persist point results to a ResultCache here")
+    p.add_argument("--warm-dir", default=None, metavar="DIR",
+                   help="set REPRO_WARMSTORE_DIR so workers share warm "
+                        "state on disk")
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="write the bound port here once listening")
+    p.add_argument("--no-pool", action="store_true",
+                   help="run points inline instead of on the fork-server "
+                        "pool (debugging)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running `repro serve` daemon")
+    p.add_argument("experiment", nargs="?", default=None,
+                   help="registered experiment name (e.g. fig8, covert)")
+    p.add_argument("--fn", default=None, metavar="MODULE:ATTR",
+                   help="module-level point function instead of a "
+                        "registered experiment")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9306)
+    p.add_argument("--points", default=None, metavar="JSON",
+                   help='explicit point list, e.g. \'[{"llc_mb": 8}]\'')
+    p.add_argument("--axis", default=None, metavar="NAME",
+                   help="sweep one parameter: --axis llc_mb --values 8 64")
+    p.add_argument("--values", nargs="*", default=[], metavar="V",
+                   help="JSON values for --axis")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs earlier within this client")
+    p.add_argument("--timeout", type=float, default=600.0)
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-point progress lines")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the daemon's metrics snapshot and exit")
+    p.add_argument("--status", action="store_true",
+                   help="print scheduler status and exit")
+    p.add_argument("--shutdown", action="store_true",
+                   help="ask the daemon to exit")
+    p.set_defaults(func=cmd_submit)
     return parser
 
 

@@ -22,9 +22,12 @@ Usage::
 
 from repro.exp.cache import MISSING, ResultCache, code_version
 from repro.exp.runner import (
+    PoolUnavailableError,
     SweepOutcome,
+    WorkerHandle,
     WorkerPool,
     default_jobs,
+    get_pool,
     metrics_path,
     point_slug,
     run_sweep,
@@ -35,13 +38,16 @@ from repro.exp.warmstore import WarmStore, pristine_system
 
 __all__ = [
     "MISSING",
+    "PoolUnavailableError",
     "ResultCache",
     "SweepOutcome",
     "SweepPoint",
     "WarmStore",
+    "WorkerHandle",
     "WorkerPool",
     "code_version",
     "default_jobs",
+    "get_pool",
     "metrics_path",
     "point_slug",
     "pristine_system",

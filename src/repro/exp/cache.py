@@ -64,11 +64,20 @@ class ResultCache:
     One JSON file per entry under ``directory``; the filename is the cache
     key, so lookups are a single ``open`` and invalidation is ``rm -rf``.
 
-    The store is LRU-bounded: every hit touches its entry's mtime, and
-    when a put pushes the entry count past ``max_entries`` the
-    least-recently-used entries are evicted — preferring entries written
-    by *other* code versions, whose keys can never be looked up again.
+    The store is LRU-bounded: every hit and put stamps its entry with the
+    next value of a *monotonic* recency counter (persisted in a sidecar
+    index file, shared by every process using the directory), and when a
+    put pushes the entry count past ``max_entries`` the least-recently-
+    used entries are evicted — preferring entries written by *other* code
+    versions, whose keys can never be looked up again.  Recency used to
+    ride on file mtimes (wall clock): an NTP step or VM resume could
+    reorder eviction and, worse, make the ``repro serve`` dedup layer
+    distrust what "most recent" means.  The counter only ever goes up.
     """
+
+    #: Sidecar recency index (filename -> sequence number).  Deliberately
+    #: not ``*.json`` so entry listing never mistakes it for an entry.
+    INDEX_NAME = "_lru.idx"
 
     def __init__(self, directory: str,
                  version: Optional[str] = None,
@@ -109,10 +118,7 @@ class ResultCache:
         except (OSError, ValueError):
             self.misses += 1
             return _MISSING
-        try:
-            os.utime(path)  # LRU recency: a hit keeps the entry young
-        except OSError:
-            pass
+        self._touch(path)  # LRU recency: a hit keeps the entry young
         self.hits += 1
         return entry.get("payload")
 
@@ -132,9 +138,45 @@ class ResultCache:
         with open(tmp, "w") as handle:
             json.dump(entry, handle, default=str)
         os.replace(tmp, path)
+        self._touch(path)
         if self.max_entries is not None:
             self._evict(self.max_entries)
         return path
+
+    # ------------------------------------------------------------------
+    # Monotonic recency index
+    # ------------------------------------------------------------------
+
+    def _index_path(self) -> str:
+        return os.path.join(self.directory, self.INDEX_NAME)
+
+    def _load_index(self) -> Dict[str, int]:
+        """Filename -> recency sequence; a corrupt or missing index is
+        just an empty one (entries then sort as oldest, tie-broken by
+        mtime, and get re-stamped on their next touch)."""
+        try:
+            with open(self._index_path()) as handle:
+                raw = json.load(handle)
+            return {str(name): int(seq)
+                    for name, seq in raw.get("entries", {}).items()}
+        except (OSError, ValueError, TypeError, AttributeError):
+            return {}
+
+    def _write_index(self, entries: Dict[str, int]) -> None:
+        tmp = f"{self._index_path()}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as handle:
+                json.dump({"entries": entries}, handle)
+            os.replace(tmp, self._index_path())
+        except OSError:
+            pass
+
+    def _touch(self, path: str) -> None:
+        """Stamp ``path`` as most-recently-used: the next value of the
+        store-wide monotonic counter, never the wall clock."""
+        entries = self._load_index()
+        entries[os.path.basename(path)] = max(entries.values(), default=0) + 1
+        self._write_index(entries)
 
     # ------------------------------------------------------------------
     # Size bounding / maintenance
@@ -159,30 +201,43 @@ class ResultCache:
             return None
 
     def _evict(self, max_entries: int) -> int:
-        """Bring the store under ``max_entries``, oldest-mtime first but
-        preferring entries from other code versions (their keys can never
-        match a lookup under this version again)."""
+        """Bring the store under ``max_entries``, least-recently-used
+        first (by the monotonic index; mtime only tie-breaks entries the
+        index has never seen), but preferring entries from other code
+        versions (their keys can never match a lookup under this version
+        again)."""
         paths = self._entry_paths()
         excess = len(paths) - max_entries
         if excess <= 0:
             return 0
-        def age(path: str) -> float:
+        index = self._load_index()
+
+        def recency(path: str) -> "tuple[int, float]":
             try:
-                return os.path.getmtime(path)
+                mtime = os.path.getmtime(path)
             except OSError:
-                return 0.0
+                mtime = 0.0
+            return index.get(os.path.basename(path), 0), mtime
+
         removed = 0
+        dropped: "list[str]" = []
         stale = sorted((p for p in paths
-                        if self._entry_version(p) != self.version), key=age)
-        fresh = sorted((p for p in paths if p not in set(stale)), key=age)
+                        if self._entry_version(p) != self.version),
+                       key=recency)
+        fresh = sorted((p for p in paths if p not in set(stale)), key=recency)
         for path in stale + fresh:
             if removed >= excess:
                 break
             try:
                 os.remove(path)
                 removed += 1
+                dropped.append(os.path.basename(path))
             except OSError:
                 pass
+        if dropped:
+            for name in dropped:
+                index.pop(name, None)
+            self._write_index(index)
         self.evictions += removed
         return removed
 
@@ -190,13 +245,17 @@ class ResultCache:
         """Drop entries written by other code versions (stale keys);
         returns how many were removed."""
         removed = 0
+        index = self._load_index()
         for path in self._entry_paths():
             if self._entry_version(path) != self.version:
                 try:
                     os.remove(path)
                     removed += 1
+                    index.pop(os.path.basename(path), None)
                 except OSError:
                     pass
+        if removed:
+            self._write_index(index)
         return removed
 
     def stats(self) -> Dict[str, Any]:
@@ -230,6 +289,10 @@ class ResultCache:
             if name.endswith(".json"):
                 os.remove(os.path.join(self.directory, name))
                 removed += 1
+        try:
+            os.remove(self._index_path())
+        except OSError:
+            pass
         return removed
 
     @staticmethod

@@ -44,13 +44,23 @@ import re
 import time
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
-from typing import Any, Dict, List, Iterator, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, List, Iterator, Optional, Sequence,
+                    Tuple)
 
 from repro import obs
 from repro.exp import warmstore
 from repro.exp.cache import ResultCache
 from repro.exp.sweep import SweepPoint
 from repro.obs import metrics as obs_metrics
+
+
+class PoolUnavailableError(RuntimeError):
+    """Worker processes cannot be spawned or the pool's pipes broke.
+
+    An *infrastructure* failure, distinct from a sweep point raising: the
+    runner falls back to serial in-process execution on this error, while
+    a point's own exception propagates to the caller (after completed
+    in-flight results have been committed)."""
 
 
 def default_jobs() -> int:
@@ -159,10 +169,6 @@ def _run_point(point: SweepPoint) -> Any:
                                 extra={"label": point.describe()})
 
 
-def _run_serial(points: Sequence[SweepPoint]) -> List[Any]:
-    return [_run_point(point) for point in points]
-
-
 def _pool_worker_main(conn) -> None:
     """Loop of one persistent fork-server worker.
 
@@ -204,15 +210,64 @@ def _pool_worker_main(conn) -> None:
     conn.close()
 
 
+def pool_task_env() -> Dict[str, str]:
+    """The ``REPRO_*`` environment overlay sent with every pool task, so
+    long-forked workers mirror the parent's current settings."""
+    return {key: value for key, value in os.environ.items()
+            if key.startswith("REPRO_")}
+
+
+class WorkerHandle:
+    """One persistent fork-server worker: process plus duplex pipe.
+
+    Handles are *leased* for exactly one in-flight task at a time —
+    :meth:`WorkerPool.checkout` marks the lease, :meth:`WorkerPool.checkin`
+    releases it.  :meth:`fileno` exposes the reply pipe so an event loop
+    can await the worker's answer without blocking (the ``repro serve``
+    scheduler registers it with ``loop.add_reader``); the blocking
+    :meth:`WorkerPool.run` path waits on the same pipe via
+    ``multiprocessing.connection.wait``.
+    """
+
+    __slots__ = ("process", "conn", "leased")
+
+    def __init__(self, process: Any, conn: Any) -> None:
+        self.process = process
+        self.conn = conn
+        self.leased = False
+
+    def fileno(self) -> int:
+        return self.conn.fileno()
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def send_task(self, seq: int, point: SweepPoint,
+                  env: Optional[Dict[str, str]] = None) -> None:
+        self.conn.send((seq, point, pool_task_env() if env is None else env))
+
+    def recv(self) -> Tuple[int, bool, Any, Dict[str, int]]:
+        """The worker's next ``(seq, ok, payload, warm_delta)`` reply.
+        Raises ``EOFError``/``OSError`` when the worker died."""
+        return self.conn.recv()
+
+
 class WorkerPool:
     """Reusable fork-server pool of :func:`_pool_worker_main` processes.
 
     Workers persist across :func:`run_sweep` calls (that is the point:
     their in-memory warm-state LRUs keep paying off), grow on demand up
-    to the largest ``jobs`` requested, and are torn down via
-    :func:`shutdown_pool` (registered ``atexit``).  Any pipe or worker
-    failure marks the pool broken; the caller tears it down and falls
-    back to serial execution.
+    to the ``jobs`` currently requested, and are torn down via
+    :func:`shutdown_pool` (registered ``atexit``).  The pool no longer
+    only grows: :meth:`run` trims back to the requested parallelism when
+    it finishes and :meth:`shrink` retires idle workers on demand, so one
+    wide sweep does not pin worker processes (and their warm memos) at
+    the high-water mark forever.
+
+    Two dispatch seams share the same workers: the blocking :meth:`run`
+    loop used by :func:`run_sweep`, and the lease-based
+    :meth:`checkout`/:meth:`checkin`/:meth:`retire` trio the async
+    ``repro serve`` scheduler drives one task at a time.
     """
 
     def __init__(self) -> None:
@@ -221,43 +276,126 @@ class WorkerPool:
         # even point functions defined in scripts resolve.
         self._context = multiprocessing.get_context(
             "fork" if "fork" in methods else None)
-        self._workers: List[Tuple[Any, Any]] = []  # (process, conn)
+        self._workers: List[WorkerHandle] = []
 
     def __len__(self) -> int:
         return len(self._workers)
 
-    def _spawn(self) -> Tuple[Any, Any]:
-        parent_conn, child_conn = self._context.Pipe()
-        process = self._context.Process(target=_pool_worker_main,
-                                        args=(child_conn,), daemon=True)
-        process.start()
+    def _spawn(self) -> WorkerHandle:
+        try:
+            parent_conn, child_conn = self._context.Pipe()
+            process = self._context.Process(target=_pool_worker_main,
+                                            args=(child_conn,), daemon=True)
+            process.start()
+        except (OSError, PermissionError, ImportError, RuntimeError) as exc:
+            raise PoolUnavailableError(
+                f"cannot spawn worker: {type(exc).__name__}: {exc}") from exc
         child_conn.close()
-        return process, parent_conn
+        return WorkerHandle(process, parent_conn)
 
     def ensure(self, count: int) -> None:
+        """Grow the pool to at least ``count`` live workers."""
+        self._reap_dead()
         while len(self._workers) < count:
             self._workers.append(self._spawn())
 
-    def run(self, points: Sequence[SweepPoint],
-            jobs: int) -> List[Tuple[Any, Dict[str, int]]]:
+    def _reap_dead(self) -> None:
+        for handle in [h for h in self._workers
+                       if not h.leased and not h.alive()]:
+            self._dismiss(handle)
+
+    # -- lease-based dispatch (the async scheduler's seam) --------------
+
+    def checkout(self, spawn: bool = True) -> Optional[WorkerHandle]:
+        """Lease an idle worker (spawning one when ``spawn`` and none is
+        free); ``None`` when every worker is busy and ``spawn`` is off."""
+        self._reap_dead()
+        for handle in self._workers:
+            if not handle.leased:
+                handle.leased = True
+                return handle
+        if not spawn:
+            return None
+        handle = self._spawn()
+        handle.leased = True
+        self._workers.append(handle)
+        return handle
+
+    def checkin(self, handle: WorkerHandle) -> None:
+        """Release a leased worker back to the idle set."""
+        handle.leased = False
+
+    def retire(self, handle: WorkerHandle) -> None:
+        """Remove a (possibly dead) worker from the pool and reap its
+        process; the caller's lease, if any, is void afterwards."""
+        self._dismiss(handle)
+
+    def _dismiss(self, handle: WorkerHandle) -> None:
+        try:
+            handle.conn.send(None)
+        except Exception:
+            pass
+        handle.process.join(timeout=2.0)
+        if handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout=2.0)
+        try:
+            handle.conn.close()
+        except Exception:
+            pass
+        handle.leased = False
+        try:
+            self._workers.remove(handle)
+        except ValueError:
+            pass
+
+    def shrink(self, target: int) -> int:
+        """Retire idle workers until at most ``target`` remain (leased
+        workers are never touched); returns how many were retired.
+        Newest workers go first, so the longest-lived — warmest — memos
+        survive."""
+        target = max(0, int(target))
+        removed = 0
+        for handle in reversed(list(self._workers)):
+            if len(self._workers) <= target:
+                break
+            if handle.leased:
+                continue
+            self._dismiss(handle)
+            removed += 1
+        return removed
+
+    # -- blocking batch dispatch (run_sweep's seam) ---------------------
+
+    def run(self, points: Sequence[SweepPoint], jobs: int,
+            on_result: Optional[Callable[[int, Any, Dict[str, int]],
+                                         None]] = None,
+            ) -> List[Tuple[Any, Dict[str, int]]]:
         """Execute ``points``; returns ``(payload, warm_delta)`` pairs in
         point order.  Re-raises the first failing point's exception after
-        draining in-flight tasks (the pool stays reusable)."""
+        draining in-flight tasks (the pool stays reusable) — but first
+        every successfully completed payload is handed to ``on_result``
+        (called as ``on_result(index, payload, warm_delta)`` as results
+        arrive), so callers can commit finished work before the raise and
+        a retried sweep never redoes completed points."""
         count = min(jobs, len(points))
-        self.ensure(count)
-        env = {key: value for key, value in os.environ.items()
-               if key.startswith("REPRO_")}
+        env = pool_task_env()
         out: List[Optional[Tuple[Any, Dict[str, int]]]] = [None] * len(points)
         failure: Optional[BaseException] = None
         next_index = 0
-        idle = list(self._workers[:count])
-        busy: Dict[Any, Tuple[Any, Any]] = {}  # conn -> (process, conn)
+        # checkout (not a raw scan) so concurrent lease holders — e.g. the
+        # serve scheduler sharing this pool — never starve a blocking run:
+        # missing idle workers are spawned on demand.
+        idle: List[WorkerHandle] = []
+        busy: Dict[Any, WorkerHandle] = {}  # conn -> handle
         try:
+            while len(idle) < count:
+                idle.append(self.checkout())
             while True:
                 while idle and next_index < len(points) and failure is None:
-                    worker = idle.pop()
-                    worker[1].send((next_index, points[next_index], env))
-                    busy[worker[1]] = worker
+                    handle = idle.pop()
+                    handle.send_task(next_index, points[next_index], env)
+                    busy[handle.conn] = handle
                     next_index += 1
                 if not busy:
                     break
@@ -266,33 +404,30 @@ class WorkerPool:
                     idle.append(busy.pop(conn))
                     if ok:
                         out[seq] = (payload, warm_delta)
+                        if on_result is not None:
+                            on_result(seq, payload, warm_delta)
                     elif failure is None:
                         failure = payload
         except (OSError, EOFError, BrokenPipeError) as exc:
             # A worker or pipe died: the pool is unusable.  Tear it down
             # so the next sweep starts fresh, and let run_sweep fall back
-            # to serial execution of the whole pending set.
+            # to serial execution of the points still missing.
             self.shutdown()
-            raise RuntimeError(f"worker pool failed: {exc}") from exc
+            raise PoolUnavailableError(f"worker pool failed: {exc}") from exc
+        finally:
+            for handle in idle + list(busy.values()):
+                handle.leased = False
+            # Resident footprint tracks the *current* request, not the
+            # historical high-water mark: idle workers beyond the
+            # parallelism just asked for are reaped.
+            self.shrink(jobs)
         if failure is not None:
             raise failure
         return [pair for pair in out]  # type: ignore[misc]
 
     def shutdown(self) -> None:
-        for _process, conn in self._workers:
-            try:
-                conn.send(None)
-            except Exception:
-                pass
-        for process, conn in self._workers:
-            process.join(timeout=2.0)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=2.0)
-            try:
-                conn.close()
-            except Exception:
-                pass
+        for handle in list(self._workers):
+            self._dismiss(handle)
         self._workers = []
 
 
@@ -304,6 +439,14 @@ def _get_pool() -> WorkerPool:
     if _POOL is None:
         _POOL = WorkerPool()
     return _POOL
+
+
+def get_pool() -> WorkerPool:
+    """The process-wide persistent :class:`WorkerPool`, created on first
+    use.  ``run_sweep`` and the ``repro serve`` scheduler share it, so a
+    daemon's workers keep serving ad-hoc sweeps' warm state and vice
+    versa."""
+    return _get_pool()
 
 
 def shutdown_pool() -> None:
@@ -318,10 +461,12 @@ def shutdown_pool() -> None:
 atexit.register(shutdown_pool)
 
 
-def _run_parallel(points: Sequence[SweepPoint],
-                  jobs: int) -> List[Tuple[Any, Dict[str, int]]]:
+def _run_parallel(points: Sequence[SweepPoint], jobs: int,
+                  on_result: Optional[Callable[[int, Any, Dict[str, int]],
+                                               None]] = None,
+                  ) -> List[Tuple[Any, Dict[str, int]]]:
     """Execute ``points`` on the persistent pool; results in point order."""
-    return _get_pool().run(points, jobs)
+    return _get_pool().run(points, jobs, on_result=on_result)
 
 
 def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
@@ -392,47 +537,69 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
     warm_hits = 0
     warm_misses = 0
 
-    def _serial_with_warm_counts(todo: Sequence[SweepPoint]) -> List[Any]:
-        nonlocal warm_hits, warm_misses
-        before = warmstore.counters()
-        payloads = _run_serial(todo)
-        after = warmstore.counters()
-        warm_hits += after["hits"] - before["hits"]
-        warm_misses += after["misses"] - before["misses"]
-        return payloads
-
     if pending:
         todo = [points[i] for i in pending]
-        if jobs > 1 and len(todo) > 1:
-            try:
-                pairs = _run_parallel(todo, jobs)
-                fresh = [payload for payload, _delta in pairs]
-                warm_hits = sum(delta["hits"] for _p, delta in pairs)
-                warm_misses = sum(delta["misses"] for _p, delta in pairs)
-                parallel = True
-                # Workers counted their warm events in their own metrics
-                # registries; mirror the totals into the parent's, like
-                # warmstore.record_event does on the serial path.
-                registry = obs_metrics.current()
-                if registry is not None:
-                    if warm_hits:
-                        registry.counter("warmstore.hits").inc(warm_hits)
-                    if warm_misses:
-                        registry.counter("warmstore.misses").inc(warm_misses)
-            except (OSError, PermissionError, RuntimeError,
-                    ImportError) as exc:
-                # Worker processes unavailable (restricted sandbox, missing
-                # semaphores, ...): identical results, just serially.
-                fallback_reason = f"{type(exc).__name__}: {exc}"
-                warm_hits = warm_misses = 0
-                fresh = _serial_with_warm_counts(todo)
-        else:
-            fresh = _serial_with_warm_counts(todo)
-        for index, payload in zip(pending, fresh):
+        completed = [False] * len(todo)
+
+        def _commit(pos: int, payload: Any) -> None:
+            # Results are committed (and cached) as they arrive, not after
+            # the whole sweep: when one point fails, everything that
+            # finished stays finished and a retried sweep never redoes it.
+            index = pending[pos]
             results[index] = payload
+            completed[pos] = True
             if cache is not None:
                 cache.put(points[index].experiment, points[index].params,
                           payload)
+
+        def _parallel_result(pos: int, payload: Any,
+                             delta: Dict[str, int]) -> None:
+            nonlocal warm_hits, warm_misses
+            warm_hits += delta["hits"]
+            warm_misses += delta["misses"]
+            _commit(pos, payload)
+
+        def _run_serial_committing(positions: Sequence[int]) -> None:
+            nonlocal warm_hits, warm_misses
+            for pos in positions:
+                before = warmstore.counters()
+                try:
+                    payload = _run_point(todo[pos])
+                finally:
+                    after = warmstore.counters()
+                    warm_hits += after["hits"] - before["hits"]
+                    warm_misses += after["misses"] - before["misses"]
+                _commit(pos, payload)
+
+        if jobs > 1 and len(todo) > 1:
+            try:
+                try:
+                    _run_parallel(todo, jobs, on_result=_parallel_result)
+                    parallel = True
+                finally:
+                    # Workers counted their warm events in their own
+                    # metrics registries; mirror whatever completed into
+                    # the parent's, like warmstore.record_event does on
+                    # the serial path.
+                    registry = obs_metrics.current()
+                    if registry is not None:
+                        if warm_hits:
+                            registry.counter("warmstore.hits").inc(warm_hits)
+                        if warm_misses:
+                            registry.counter("warmstore.misses").inc(
+                                warm_misses)
+            except (OSError, PermissionError, PoolUnavailableError,
+                    ImportError) as exc:
+                # Worker processes unavailable (restricted sandbox, missing
+                # semaphores, mid-sweep pool death, ...): identical
+                # results, just serially — and only for the points that
+                # did not already complete in a worker.  A *point* raising
+                # is not an infrastructure failure and propagates instead.
+                fallback_reason = f"{type(exc).__name__}: {exc}"
+                _run_serial_committing(
+                    [pos for pos, done in enumerate(completed) if not done])
+        else:
+            _run_serial_committing(range(len(todo)))
 
     return SweepOutcome(
         results=results,

@@ -1,0 +1,183 @@
+"""Synchronous client library for ``repro serve``.
+
+Plain blocking sockets speaking the newline-delimited-JSON protocol —
+usable from scripts, tests, and thread-per-client load generators without
+an event loop::
+
+    from repro.serve import ServeClient
+
+    with ServeClient(port=9306) as client:
+        job = client.submit("fig8", [{"llc_mb": 8}, {"llc_mb": 64}],
+                            on_event=lambda e: print(e["event"]))
+        for params, payload in zip(job.points, job.results):
+            print(params, payload)
+
+One connection carries one client identity: the daemon's fair-share
+scheduler accounts all jobs submitted through it to the same tenant, and
+closing the connection cancels the tenant's queued points.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.serve import protocol
+
+DEFAULT_TIMEOUT = 600.0
+
+
+@dataclass
+class JobResult:
+    """Outcome of one submitted sweep, in point order."""
+
+    job_id: str
+    points: List[Dict[str, Any]]
+    results: List[Any]
+    sources: List[Optional[str]]
+    ok: bool
+    errors: List[str] = field(default_factory=list)
+    warm_hits: int = 0
+    warm_misses: int = 0
+    elapsed_seconds: float = 0.0
+    events: int = 0
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class ServeError(RuntimeError):
+    """The daemon reported an error for this client's request."""
+
+
+class ServeClient:
+    """Blocking client for one ``repro serve`` daemon connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 9306,
+                 timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._tags = 0
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+
+    def _send(self, message: Mapping[str, Any]) -> None:
+        self._file.write(protocol.encode(message))
+        self._file.flush()
+
+    def _recv(self) -> Dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        return protocol.decode(line)
+
+    def _recv_event(self, kind: str) -> Dict[str, Any]:
+        """Next event of ``kind``; protocol errors surface immediately."""
+        while True:
+            event = self._recv()
+            if event.get("event") == "error":
+                raise ServeError(event.get("message", "unknown error"))
+            if event.get("event") == kind:
+                return event
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def submit(self, experiment: Optional[str] = None,
+               points: Optional[Sequence[Mapping[str, Any]]] = None, *,
+               fn: Optional[str] = None, priority: int = 0,
+               on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+               ) -> JobResult:
+        """Submit a sweep and stream it to completion.
+
+        ``experiment`` names a server-registered figure function (or pass
+        ``fn="module:callable"``); ``points`` is a list of kwargs dicts,
+        one per point.  ``on_event`` sees every streamed event (accepted,
+        per-point progress, done) as it arrives.  Returns the completed
+        :class:`JobResult`; raises :class:`ServeError` if the daemon
+        rejected the submission."""
+        self._tags += 1
+        tag = f"req-{self._tags}"
+        request: Dict[str, Any] = {"op": "submit",
+                                   "points": [dict(p) for p in points or []],
+                                   "priority": priority, "id": tag}
+        if experiment is not None:
+            request["experiment"] = experiment
+        if fn is not None:
+            request["fn"] = fn
+        self._send(request)
+        job_id: Optional[str] = None
+        seen = 0
+        while True:
+            event = self._recv()
+            kind = event.get("event")
+            if kind == "error":
+                raise ServeError(event.get("message", "unknown error"))
+            seen += 1
+            if on_event is not None:
+                on_event(event)
+            if kind == "accepted" and event.get("id") == tag:
+                job_id = event["job_id"]
+            elif kind == "done" and event.get("job_id") == job_id:
+                return JobResult(
+                    job_id=job_id or "",
+                    points=[dict(p) for p in points or []],
+                    results=event.get("results") or [],
+                    sources=event.get("sources") or [],
+                    ok=bool(event.get("ok")),
+                    errors=list(event.get("errors") or []),
+                    warm_hits=int(event.get("warm_hits") or 0),
+                    warm_misses=int(event.get("warm_misses") or 0),
+                    elapsed_seconds=float(event.get("elapsed_s") or 0.0),
+                    events=seen,
+                )
+
+    def metrics(self) -> Dict[str, Any]:
+        """Live telemetry snapshot: the daemon's metrics registry
+        (counters, histograms, phases) plus scheduler stats."""
+        self._send({"op": "metrics"})
+        return self._recv_event("metrics")["payload"]
+
+    def status(self) -> Dict[str, Any]:
+        """Scheduler stats only (queue depth, running points, pool size,
+        per-op counters)."""
+        self._send({"op": "status"})
+        return self._recv_event("status")["payload"]
+
+    def cancel(self, job_id: str) -> bool:
+        self._send({"op": "cancel", "job_id": job_id})
+        return bool(self._recv_event("cancelled").get("ok"))
+
+    def shutdown_server(self) -> None:
+        """Ask the daemon to drain and exit (trusted-client admin op)."""
+        self._send({"op": "shutdown"})
+        try:
+            self._recv_event("shutting_down")
+        except (ServeError, json.JSONDecodeError):
+            pass
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,176 @@
+"""The ``repro serve`` daemon: asyncio TCP server over the scheduler.
+
+One connection per client.  Requests are newline-delimited JSON
+(:mod:`repro.serve.protocol`); the server streams back ``accepted`` /
+``point`` / ``done`` events as the scheduler makes progress, so a client
+watches its sweep execute live.  A connection may carry any number of
+jobs; a dropped connection cancels its client's queued points (in-flight
+points finish and still warm the caches for everyone else).
+
+Stdlib-only transport: ``asyncio.start_server`` plus JSON lines — no
+framing libraries, no HTTP dependency.  See the protocol module for the
+trust model (a lab-bench service for trusted clients).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs import metrics as obs_metrics
+from repro.serve import protocol
+from repro.serve.scheduler import ServeScheduler
+
+
+class ServeServer:
+    """Accepts client connections and relays jobs to the scheduler."""
+
+    def __init__(self, scheduler: ServeScheduler, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._client_ids = itertools.count(1)
+        self._shutdown = asyncio.Event()
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the (host, port) actually
+        bound — port 0 picks a free one."""
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(self._handle, self.host,
+                                                  self.port)
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    def request_shutdown(self) -> None:
+        """Threadsafe-from-the-loop shutdown trigger (the ``shutdown``
+        op and signal handlers land here)."""
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until :meth:`request_shutdown`, then drain and close."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._shutdown.wait()
+            await self.scheduler.stop()
+
+    # ------------------------------------------------------------------
+    # Per-connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        client_id = f"client-{next(self._client_ids)}"
+        events: "asyncio.Queue[Optional[Dict[str, Any]]]" = asyncio.Queue()
+        writer_task = asyncio.ensure_future(self._write_loop(events, writer))
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break  # client disconnected
+                if not line.strip():
+                    continue
+                try:
+                    message = protocol.decode(line)
+                    await self._dispatch(client_id, message, events)
+                except protocol.ProtocolError as exc:
+                    events.put_nowait({"event": "error", "message": str(exc)})
+                if self._shutdown.is_set():
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown cancels handlers blocked in readline(); finish
+            # normally so shutdown doesn't log spurious task exceptions.
+            pass
+        finally:
+            # Disconnect semantics: this client's queued points die with
+            # it; nobody else's do.
+            self.scheduler.cancel_client(client_id)
+            events.put_nowait(None)
+            try:
+                await writer_task
+            except (Exception, asyncio.CancelledError):
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (Exception, asyncio.CancelledError):
+                # Teardown during loop shutdown may cancel us mid-close;
+                # the transport is closed either way.
+                pass
+
+    async def _write_loop(self, events: "asyncio.Queue",
+                          writer: asyncio.StreamWriter) -> None:
+        while True:
+            event = await events.get()
+            if event is None:
+                return
+            try:
+                writer.write(protocol.encode(event))
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                return
+
+    async def _dispatch(self, client_id: str, message: Dict[str, Any],
+                        events: "asyncio.Queue") -> None:
+        op = message.get("op")
+        if op == "submit":
+            points = protocol.build_points(message.get("experiment"),
+                                           message.get("fn"),
+                                           message.get("points") or [])
+            await self.scheduler.submit(
+                client_id, points,
+                priority=int(message.get("priority") or 0),
+                emit=events.put_nowait, tag=message.get("id"))
+        elif op == "metrics":
+            events.put_nowait({"event": "metrics",
+                               "payload": self._metrics_payload()})
+        elif op == "status":
+            events.put_nowait({"event": "status",
+                               "payload": self.scheduler.stats()})
+        elif op == "cancel":
+            cancelled = self.scheduler.cancel_job(
+                str(message.get("job_id") or ""))
+            events.put_nowait({"event": "cancelled",
+                               "job_id": message.get("job_id"),
+                               "ok": cancelled})
+        elif op == "shutdown":
+            events.put_nowait({"event": "shutting_down"})
+            self.request_shutdown()
+        else:
+            raise protocol.ProtocolError(f"unknown op {op!r}")
+
+    def _metrics_payload(self) -> Dict[str, Any]:
+        """The scheduler's local registry merged with whatever registry
+        this process has globally installed (:func:`repro.obs.metrics.
+        snapshot`), plus scheduler stats — one JSON-able telemetry view."""
+        payload = self.scheduler.registry.to_dict()
+        installed = obs_metrics.snapshot()
+        if installed:
+            payload = obs_metrics.MetricsRegistry.merge_dicts(
+                [payload, installed])
+        payload["stats"] = self.scheduler.stats()
+        return payload
+
+
+async def run_server(scheduler: ServeScheduler, host: str, port: int,
+                     port_file: Optional[str] = None,
+                     announce: bool = True) -> None:
+    """Start a server and block until its ``shutdown`` op (the
+    ``repro serve`` CLI entry point)."""
+    server = ServeServer(scheduler, host=host, port=port)
+    bound_host, bound_port = await server.start()
+    if port_file:
+        with open(port_file, "w") as handle:
+            handle.write(str(bound_port))
+    if announce:
+        print(json.dumps({"serving": f"{bound_host}:{bound_port}",
+                          "jobs": scheduler.max_jobs,
+                          "result_cache": bool(scheduler.cache)}),
+              flush=True)
+    await server.serve_until_shutdown()

@@ -356,3 +356,186 @@ class TestWorkerPool:
     def test_shutdown_pool_is_idempotent(self):
         shutdown_pool()
         shutdown_pool()
+
+# ---------------------------------------------------------------------------
+# Commit-as-you-go: completed results survive a failing sibling point
+# ---------------------------------------------------------------------------
+
+def logged_point(value, log):
+    """Appends its value to ``log`` — counts executions across processes."""
+    with open(log, "a") as fh:
+        fh.write(f"{value}\n")
+    return {"value": value}
+
+
+def logged_fail_on_two(value, log):
+    with open(log, "a") as fh:
+        fh.write(f"{value}\n")
+    if value == 2:
+        raise RuntimeError("point two failed")
+    return {"value": value}
+
+
+def _log_counts(log):
+    text = Path(log).read_text() if Path(log).exists() else ""
+    counts = {}
+    for line in text.splitlines():
+        counts[line] = counts.get(line, 0) + 1
+    return counts
+
+
+class TestCommitOnFailure:
+    """A failing point must not discard its siblings' finished work: every
+    completed payload is committed to the result cache before the sweep
+    re-raises, so a retry never redoes completed points."""
+
+    def test_serial_failure_commits_completed_results(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", version="v1")
+        log = str(tmp_path / "runs.log")
+        points = [SweepPoint("exp", logged_fail_on_two,
+                             {"value": v, "log": log}) for v in (1, 2)]
+        with pytest.raises(RuntimeError, match="point two failed"):
+            run_sweep(points, jobs=1, cache=cache)
+        assert cache.get("exp", {"value": 1, "log": log}) == {"value": 1}
+        with pytest.raises(RuntimeError, match="point two failed"):
+            run_sweep(points, jobs=1, cache=cache)
+        # The completed point ran exactly once across both attempts.
+        assert _log_counts(log)["1"] == 1
+
+    def test_parallel_failure_commits_completed_results(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", version="v1")
+        log = str(tmp_path / "runs.log")
+        points = [SweepPoint("exp", logged_fail_on_two,
+                             {"value": v, "log": log}) for v in (1, 2, 3)]
+        with pytest.raises(RuntimeError, match="point two failed"):
+            run_sweep(points, jobs=2, cache=cache)
+        # Whatever completed before the failure propagated is cached ...
+        committed = [v for v in (1, 3) if not ResultCache.is_missing(
+            cache.get("exp", {"value": v, "log": log}))]
+        assert committed, "no completed sibling was committed"
+        with pytest.raises(RuntimeError, match="point two failed"):
+            run_sweep(points, jobs=2, cache=cache)
+        counts = _log_counts(log)
+        # ... and never re-executed on the retry.
+        for value in committed:
+            assert counts[str(value)] == 1
+
+    def test_pool_run_on_result_fires_before_raise(self):
+        pool = _pool_or_skip()
+        seen = []
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                pool.run([SweepPoint("exp", counting_point,
+                                     params={"value": 7}),
+                          SweepPoint("exp", failing_point)], jobs=2,
+                         on_result=lambda i, payload, delta:
+                             seen.append((i, payload)))
+            assert (0, {"value": 7, "double": 14}) in seen
+        finally:
+            pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Pool shrink / lease lifecycle
+# ---------------------------------------------------------------------------
+
+class TestPoolShrink:
+    def test_shrink_retires_idle_workers(self):
+        pool = _pool_or_skip()
+        try:
+            pool.ensure(3)
+            assert len(pool) == 3
+            assert pool.shrink(1) == 2
+            assert len(pool) == 1
+            # The survivor still works.
+            pairs = pool.run([SweepPoint("exp", counting_point,
+                                         params={"value": 5})], jobs=1)
+            assert pairs[0][0] == {"value": 5, "double": 10}
+        finally:
+            pool.shutdown()
+
+    def test_shrink_spares_leased_workers(self):
+        pool = _pool_or_skip()
+        try:
+            pool.ensure(2)
+            handle = pool.checkout()
+            assert pool.shrink(0) == 1  # only the idle worker goes
+            assert len(pool) == 1 and handle.leased
+            pool.checkin(handle)
+            assert pool.shrink(0) == 1
+            assert len(pool) == 0
+        finally:
+            pool.shutdown()
+
+    def test_run_trims_pool_to_requested_jobs(self):
+        """`ensure` used to only grow; a narrow sweep after a wide one now
+        releases the extra workers instead of pinning the high-water mark."""
+        pool = _pool_or_skip()
+        try:
+            pool.ensure(3)
+            pool.run([SweepPoint("exp", counting_point,
+                                 params={"value": 1})], jobs=1)
+            assert len(pool) == 1
+        finally:
+            pool.shutdown()
+
+    def test_checkout_checkin_cycle(self):
+        pool = _pool_or_skip()
+        try:
+            first = pool.checkout()
+            assert first.leased
+            assert pool.checkout(spawn=False) is None  # all busy
+            pool.checkin(first)
+            assert pool.checkout(spawn=False) is first  # reused, not respawned
+            pool.retire(first)
+            assert len(pool) == 0
+        finally:
+            pool.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Monotonic LRU (clock-step immunity)
+# ---------------------------------------------------------------------------
+
+class TestResultCacheMonotonicLRU:
+    def test_eviction_ignores_wall_clock(self, tmp_path):
+        """A clock step (NTP, VM resume) must not reorder eviction: the
+        entry touched most recently by *operation order* survives even
+        when a stale entry's mtime claims it is from the far future."""
+        cache = ResultCache(tmp_path, version="v1", max_entries=None)
+        cache.put("exp", {"a": 1}, {"r": 1})
+        cache.put("exp", {"a": 2}, {"r": 2})
+        assert cache.get("exp", {"a": 1}) == {"r": 1}  # a=1 is now MRU
+        # Forge a future mtime on the LRU entry: under mtime recency it
+        # would wrongly look freshest.
+        import time as _time
+        future = _time.time() + 1e6
+        os_path = cache.path_for("exp", {"a": 2})
+        import os as _os
+        _os.utime(os_path, (future, future))
+        bounded = ResultCache(tmp_path, version="v1", max_entries=2)
+        bounded.put("exp", {"a": 3}, {"r": 3})
+        assert bounded.get("exp", {"a": 1}) == {"r": 1}
+        assert ResultCache.is_missing(bounded.get("exp", {"a": 2}))
+
+    def test_index_sidecar_is_not_an_entry(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        cache.put("exp", {"a": 1}, {"r": 1})
+        assert cache.entry_count() == 1
+        assert (Path(tmp_path) / ResultCache.INDEX_NAME).exists()
+
+    def test_corrupt_index_degrades_gracefully(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1", max_entries=2)
+        cache.put("exp", {"a": 1}, {"r": 1})
+        (Path(tmp_path) / ResultCache.INDEX_NAME).write_text("not json")
+        assert cache.get("exp", {"a": 1}) == {"r": 1}
+        for i in range(2, 5):
+            cache.put("exp", {"a": i}, {"r": i})
+        assert cache.entry_count() <= 2
+
+    def test_clear_removes_index(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v1")
+        cache.put("exp", {"a": 1}, {"r": 1})
+        cache.clear()
+        assert not (Path(tmp_path) / ResultCache.INDEX_NAME).exists()
+        assert cache.entry_count() == 0
