@@ -26,6 +26,10 @@ absorbed three ways: a small-N median rather than a single sample, the
 heap quiesce (GC pauses were the bulk of the historical regression),
 and the threshold margin.  ``--measure-only`` prints the fresh number
 without judging it (used to seed a baseline on new machines).
+
+On failure the gate prints the metric's full committed trajectory
+(``repro.analysis.benchhistory``), so "dropped 18%" comes with the
+history needed to tell a real regression from a noisy baseline.
 """
 
 from __future__ import annotations
@@ -199,6 +203,7 @@ def main(argv=None) -> int:
               f"{os.path.basename(path)} (limit {args.threshold:.0%}). "
               f"If the change intentionally trades speed, refresh the "
               f"committed record via `make bench-quick`.")
+        print(_trajectory("simulator.ops_per_sec", fresh["ops_per_sec"]))
 
     try:
         miss_baseline = float(
@@ -229,7 +234,21 @@ def main(argv=None) -> int:
                   f"{args.threshold:.0%}). If the change intentionally "
                   f"trades speed, refresh the committed record via "
                   f"`make bench-quick`.")
+            print(_trajectory("miss.conflict_replay.speedup",
+                              fresh_miss["speedup"]))
     return 1 if failed else 0
+
+
+def _trajectory(metric: str, fresh_value: float) -> str:
+    """The metric's committed history as one diagnostic line (never lets
+    a diagnostics import break the gate verdict itself)."""
+    try:
+        from repro.analysis.benchhistory import format_trajectory
+
+        return "trajectory: " + format_trajectory(REPO_ROOT, metric,
+                                                  fresh=fresh_value)
+    except Exception as exc:  # pragma: no cover - diagnostics only
+        return f"trajectory unavailable: {exc}"
 
 
 if __name__ == "__main__":

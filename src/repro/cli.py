@@ -291,6 +291,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     if args.warm_dir:
         os.environ["REPRO_WARMSTORE_DIR"] = args.warm_dir
+    if args.telemetry_dir:
+        os.makedirs(args.telemetry_dir, exist_ok=True)
+        os.environ["REPRO_TELEMETRY_DIR"] = args.telemetry_dir
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
 
     async def _main() -> None:
@@ -364,6 +367,44 @@ def cmd_submit(args: argparse.Namespace) -> int:
         client.close()
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live fleet view: poll a daemon's metrics endpoint, or reconstruct
+    the same dashboard offline from a telemetry event-log directory."""
+    import time
+
+    from repro.obs import top as obs_top
+
+    def one_frame() -> str:
+        if args.dir:
+            return obs_top.frame_from_dir(args.dir)
+        from repro.serve import ServeClient
+
+        with ServeClient(host=args.host, port=args.port,
+                         timeout=args.timeout) as client:
+            payload = client.metrics()
+        return obs_top.render_metrics_frame(
+            payload, source=f"{args.host}:{args.port}")
+
+    while True:
+        try:
+            frame = one_frame()
+        except OSError as exc:
+            print(f"repro top: cannot read "
+                  f"{args.dir or f'{args.host}:{args.port}'}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.once:
+            print(frame)
+            return 0
+        # Clear + home, like top(1); each poll reconnects so a daemon
+        # restart mid-watch just shows up as the next frame.
+        print("\x1b[2J\x1b[H" + frame, flush=True)
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def cmd_recon(args: argparse.Namespace) -> int:
     config = _config(args)
     system = System(config)
@@ -391,6 +432,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
     import time
 
     from repro.sim import vector
+
+    if args.mode == "history":
+        from repro.analysis import benchhistory
+
+        history = benchhistory.collect_history(args.bench_dir)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(benchhistory.render_history_markdown(history))
+        print(benchhistory.render_history(history))
+        if args.out:
+            print(f"markdown table written to {args.out}")
+        return 0
 
     backends: List[str]
     if args.backend == "all":
@@ -580,7 +633,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="simulator micro-bench: ops/s per backend (scalar|vector|auto)")
+        help="simulator micro-bench: ops/s per backend (scalar|vector|auto);"
+             " `bench history` prints the committed BENCH_PR*.json trend")
+    p.add_argument("mode", nargs="?", choices=["micro", "history"],
+                   default="micro",
+                   help="micro: time the simulator (default); history: "
+                        "per-metric trend across committed BENCH_PR*.json "
+                        "snapshots")
     p.add_argument("--backend", choices=["scalar", "vector", "auto", "all"],
                    default="all",
                    help="engine to time (default: all three, as a "
@@ -589,6 +648,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="accesses per workload per run (default 200000)")
     p.add_argument("--runs", type=int, default=3, metavar="N",
                    help="runs per cell, median reported (default 3)")
+    p.add_argument("--bench-dir", default=".", metavar="DIR",
+                   help="directory holding BENCH_PR*.json (history mode; "
+                        "default: current directory)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the history table as markdown here "
+                        "(history mode)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("detect", help="run the cache-monitor detector")
@@ -614,7 +679,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-pool", action="store_true",
                    help="run points inline instead of on the fork-server "
                         "pool (debugging)")
+    p.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                   help="write the causal NDJSON event log here (sets "
+                        "REPRO_TELEMETRY_DIR for the daemon and its "
+                        "workers); `repro top --dir` can tail it")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="live fleet view: per-client queues, worker throughput, "
+             "stragglers (polls a daemon, or tails a telemetry dir)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9306)
+    p.add_argument("--dir", default=None, metavar="DIR",
+                   help="offline mode: reconstruct the view from this "
+                        "telemetry event-log directory instead of a daemon")
+    p.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                   help="refresh period (default 2s)")
+    p.add_argument("--once", action="store_true",
+                   help="render one frame and exit (no screen clearing)")
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser(
         "submit",
@@ -650,7 +735,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # `repro top | head` and friends: the reader went away, which is
+        # not an error worth a traceback.
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -52,6 +52,8 @@ from repro.exp import warmstore
 from repro.exp.cache import ResultCache
 from repro.exp.sweep import SweepPoint
 from repro.obs import metrics as obs_metrics
+from repro.obs import telemetry
+from repro.obs.telemetry import FleetHealth
 
 
 class PoolUnavailableError(RuntimeError):
@@ -99,6 +101,10 @@ class SweepOutcome:
     warm_hits: int = 0
     warm_misses: int = 0
     points: Sequence[SweepPoint] = field(default_factory=tuple)
+    #: Causal run ID minted for this sweep — every telemetry record,
+    #: stamped trace, and stamped metrics JSON the sweep produced carries
+    #: it (see :mod:`repro.obs.telemetry`).
+    run_id: Optional[str] = None
 
     def __iter__(self) -> Iterator[Any]:
         return iter(self.results)
@@ -126,11 +132,27 @@ def metrics_path(metrics_dir: str, point: SweepPoint) -> str:
     return os.path.join(metrics_dir, f"{point_slug(point)}.metrics.json")
 
 
-def _run_point(point: SweepPoint) -> Any:
+def _run_point(point: SweepPoint, run_id: Optional[str] = None,
+               span_id: Optional[str] = None) -> Any:
     trace_dir = os.environ.get("REPRO_TRACE_DIR")
     metrics_dir = os.environ.get("REPRO_METRICS_DIR")
-    if not trace_dir and not metrics_dir:
+    if not trace_dir and not metrics_dir and not telemetry.enabled():
         return point.run()
+    # Causal IDs arrive explicitly (serial/inline paths) or through the
+    # env overlay mirrored into forked workers (pool path).
+    run_id = run_id or os.environ.get(telemetry.ENV_RUN_ID)
+    span_id = span_id or os.environ.get(telemetry.ENV_SPAN_ID)
+    slug = point_slug(point)
+    # Provenance stamped into the trace/metrics artifacts: two sweeps
+    # sharing a directory (or two pool workers racing on one) stay
+    # distinguishable and joinable by run/span, not just filename.
+    provenance: Dict[str, Any] = {"pid": os.getpid(), "point_slug": slug}
+    if run_id:
+        provenance["run_id"] = run_id
+    if span_id:
+        provenance["span_id"] = span_id
+    telemetry.emit("point_start", run_id=run_id, span_id=span_id,
+                   point_slug=slug, experiment=point.experiment)
     # Per-point tracer/metrics registry, installed process-globally so the
     # Systems and schedulers the point builds internally pick them up.
     # Works identically in the parent (serial path) and in forked workers,
@@ -146,12 +168,24 @@ def _run_point(point: SweepPoint) -> Any:
     if metrics_dir:
         os.makedirs(metrics_dir, exist_ok=True)
         registry = obs_metrics.install(obs_metrics.MetricsRegistry())
+    started = time.perf_counter()
+    warm_before = warmstore.counters()
+    ok = True
     try:
         if registry is not None:
             with registry.profiler.phase("point"):
                 return point.run()
         return point.run()
+    except BaseException:
+        ok = False
+        raise
     finally:
+        warm_after = warmstore.counters()
+        telemetry.emit(
+            "point_end", run_id=run_id, span_id=span_id, point_slug=slug,
+            ok=ok, elapsed_s=round(time.perf_counter() - started, 6),
+            warm_hits=warm_after["hits"] - warm_before["hits"],
+            warm_misses=warm_after["misses"] - warm_before["misses"])
         if tracer is not None:
             if previous_observer is not None:
                 obs.install(previous_observer)
@@ -159,14 +193,16 @@ def _run_point(point: SweepPoint) -> Any:
                 obs.uninstall()
             # Written even when the point raises — a partial trace is
             # exactly what debugging a failed point needs.
-            tracer.write_chrome(_trace_path(trace_dir, point))
+            tracer.write_chrome(_trace_path(trace_dir, point),
+                                extra=provenance)
         if registry is not None:
             if previous_registry is not None:
                 obs_metrics.install(previous_registry)
             else:
                 obs_metrics.uninstall()
             registry.write_json(metrics_path(metrics_dir, point),
-                                extra={"label": point.describe()})
+                                extra={"label": point.describe(),
+                                       **provenance})
 
 
 def _pool_worker_main(conn) -> None:
@@ -370,6 +406,7 @@ class WorkerPool:
     def run(self, points: Sequence[SweepPoint], jobs: int,
             on_result: Optional[Callable[[int, Any, Dict[str, int]],
                                          None]] = None,
+            span_ids: Optional[Sequence[Optional[str]]] = None,
             ) -> List[Tuple[Any, Dict[str, int]]]:
         """Execute ``points``; returns ``(payload, warm_delta)`` pairs in
         point order.  Re-raises the first failing point's exception after
@@ -377,9 +414,20 @@ class WorkerPool:
         every successfully completed payload is handed to ``on_result``
         (called as ``on_result(index, payload, warm_delta)`` as results
         arrive), so callers can commit finished work before the raise and
-        a retried sweep never redoes completed points."""
+        a retried sweep never redoes completed points.
+
+        ``span_ids`` aligns with ``points``: each task's env overlay
+        carries its span so the worker's telemetry records chain with the
+        parent's (see :mod:`repro.obs.telemetry`)."""
         count = min(jobs, len(points))
         env = pool_task_env()
+        # A stale ambient span must never leak into workers; each task
+        # gets its own (or none).
+        env.pop(telemetry.ENV_SPAN_ID, None)
+        spans: List[Optional[str]] = (list(span_ids) if span_ids is not None
+                                      else [None] * len(points))
+        tele = telemetry.enabled()
+        health = FleetHealth() if tele else None
         out: List[Optional[Tuple[Any, Dict[str, int]]]] = [None] * len(points)
         failure: Optional[BaseException] = None
         next_index = 0
@@ -394,24 +442,57 @@ class WorkerPool:
             while True:
                 while idle and next_index < len(points) and failure is None:
                     handle = idle.pop()
-                    handle.send_task(next_index, points[next_index], env)
+                    span = spans[next_index]
+                    handle.send_task(
+                        next_index, points[next_index],
+                        env if span is None
+                        else {**env, telemetry.ENV_SPAN_ID: span})
+                    if health is not None:
+                        slug = point_slug(points[next_index])
+                        health.record_dispatch(
+                            handle.process.pid, span or f"seq-{next_index}",
+                            point_slug=slug)
+                        telemetry.emit("point_dispatched", span_id=span,
+                                       point_slug=slug,
+                                       worker_pid=handle.process.pid)
                     busy[handle.conn] = handle
                     next_index += 1
                 if not busy:
                     break
                 for conn in mp_connection.wait(list(busy)):
                     seq, ok, payload, warm_delta = conn.recv()
-                    idle.append(busy.pop(conn))
+                    handle = busy.pop(conn)
+                    idle.append(handle)
+                    if health is not None:
+                        elapsed, straggler = health.record_done(
+                            handle.process.pid, spans[seq] or f"seq-{seq}",
+                            ok=ok)
+                        if straggler:
+                            telemetry.emit(
+                                "point_straggler", span_id=spans[seq],
+                                point_slug=point_slug(points[seq]),
+                                worker_pid=handle.process.pid,
+                                age_s=round(elapsed, 6),
+                                threshold_s=health.threshold())
                     if ok:
                         out[seq] = (payload, warm_delta)
                         if on_result is not None:
                             on_result(seq, payload, warm_delta)
-                    elif failure is None:
-                        failure = payload
+                    else:
+                        if tele:
+                            telemetry.emit(
+                                "point_failed", span_id=spans[seq],
+                                point_slug=point_slug(points[seq]),
+                                error=f"{type(payload).__name__}: {payload}")
+                        if failure is None:
+                            failure = payload
         except (OSError, EOFError, BrokenPipeError) as exc:
             # A worker or pipe died: the pool is unusable.  Tear it down
             # so the next sweep starts fresh, and let run_sweep fall back
             # to serial execution of the points still missing.
+            telemetry.log("warning", "runner",
+                          "worker pool failed; tearing it down",
+                          error=f"{type(exc).__name__}: {exc}")
             self.shutdown()
             raise PoolUnavailableError(f"worker pool failed: {exc}") from exc
         finally:
@@ -464,16 +545,19 @@ atexit.register(shutdown_pool)
 def _run_parallel(points: Sequence[SweepPoint], jobs: int,
                   on_result: Optional[Callable[[int, Any, Dict[str, int]],
                                                None]] = None,
+                  span_ids: Optional[Sequence[Optional[str]]] = None,
                   ) -> List[Tuple[Any, Dict[str, int]]]:
     """Execute ``points`` on the persistent pool; results in point order."""
-    return _get_pool().run(points, jobs, on_result=on_result)
+    return _get_pool().run(points, jobs, on_result=on_result,
+                           span_ids=span_ids)
 
 
 def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
               cache: Optional[ResultCache] = None,
               trace_dir: Optional[str] = None,
               metrics_dir: Optional[str] = None,
-              warm_dir: Optional[str] = None) -> SweepOutcome:
+              warm_dir: Optional[str] = None,
+              telemetry_dir: Optional[str] = None) -> SweepOutcome:
     """Run every point, in parallel when possible, and return a
     :class:`SweepOutcome` whose ``results`` align with ``points``.
 
@@ -497,6 +581,10 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
             as ``REPRO_WARMSTORE_DIR``): warm-up snapshots and
             deterministic artifacts are loaded instead of recomputed, and
             the outcome's ``warm_hits``/``warm_misses`` report the reuse.
+        telemetry_dir: when given, the sweep appends causal lifecycle
+            records (queued/dispatched/executed/committed per point) to
+            NDJSON files in this directory (exported as
+            ``REPRO_TELEMETRY_DIR``); see :mod:`repro.obs.telemetry`.
     """
     started = time.perf_counter()
     overlay = {}
@@ -506,6 +594,8 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
         overlay["REPRO_METRICS_DIR"] = metrics_dir
     if warm_dir is not None:
         overlay["REPRO_WARMSTORE_DIR"] = warm_dir
+    if telemetry_dir is not None:
+        overlay[telemetry.ENV_TELEMETRY_DIR] = telemetry_dir
     if overlay:
         saved = {key: os.environ.get(key) for key in overlay}
         os.environ.update(overlay)
@@ -520,6 +610,24 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
         outcome.elapsed_seconds = time.perf_counter() - started
         return outcome
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    # Every sweep gets a fresh causal run ID, exported so pool workers
+    # (which mirror REPRO_* per task) stamp it into their records and
+    # artifacts even when the event log itself is off.
+    run_id = telemetry.new_run_id()
+    saved_run = os.environ.get(telemetry.ENV_RUN_ID)
+    os.environ[telemetry.ENV_RUN_ID] = run_id
+    try:
+        return _run_sweep_body(points, jobs, cache, run_id, started)
+    finally:
+        if saved_run is None:
+            os.environ.pop(telemetry.ENV_RUN_ID, None)
+        else:
+            os.environ[telemetry.ENV_RUN_ID] = saved_run
+
+
+def _run_sweep_body(points: Sequence[SweepPoint], jobs: int,
+                    cache: Optional[ResultCache], run_id: str,
+                    started: float) -> SweepOutcome:
     results: List[Any] = [None] * len(points)
     pending: List[int] = []
     cache_hits = 0
@@ -529,6 +637,8 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
             if not ResultCache.is_missing(hit):
                 results[index] = hit
                 cache_hits += 1
+                telemetry.emit("point_cached", run_id=run_id,
+                               point_slug=point_slug(point))
                 continue
         pending.append(index)
 
@@ -536,10 +646,19 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
     fallback_reason: Optional[str] = None
     warm_hits = 0
     warm_misses = 0
+    telemetry.emit("run_start", run_id=run_id, points=len(points),
+                   pending=len(pending), cache_hits=cache_hits, jobs=jobs)
 
     if pending:
         todo = [points[i] for i in pending]
         completed = [False] * len(todo)
+        # One span per executed point: its whole lifecycle — here and in
+        # whichever process runs it — chains under this ID.
+        spans = [telemetry.new_span_id() for _ in todo]
+        for pos, point in enumerate(todo):
+            telemetry.emit("point_queued", run_id=run_id, span_id=spans[pos],
+                           point_slug=point_slug(point),
+                           experiment=point.experiment)
 
         def _commit(pos: int, payload: Any) -> None:
             # Results are committed (and cached) as they arrive, not after
@@ -551,6 +670,9 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
             if cache is not None:
                 cache.put(points[index].experiment, points[index].params,
                           payload)
+            telemetry.emit("point_committed", run_id=run_id,
+                           span_id=spans[pos],
+                           point_slug=point_slug(points[index]))
 
         def _parallel_result(pos: int, payload: Any,
                              delta: Dict[str, int]) -> None:
@@ -562,9 +684,20 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
         def _run_serial_committing(positions: Sequence[int]) -> None:
             nonlocal warm_hits, warm_misses
             for pos in positions:
+                telemetry.emit("point_dispatched", run_id=run_id,
+                               span_id=spans[pos],
+                               point_slug=point_slug(todo[pos]),
+                               worker_pid=os.getpid())
                 before = warmstore.counters()
                 try:
-                    payload = _run_point(todo[pos])
+                    payload = _run_point(todo[pos], run_id=run_id,
+                                         span_id=spans[pos])
+                except BaseException as exc:
+                    telemetry.emit(
+                        "point_failed", run_id=run_id, span_id=spans[pos],
+                        point_slug=point_slug(todo[pos]),
+                        error=f"{type(exc).__name__}: {exc}")
+                    raise
                 finally:
                     after = warmstore.counters()
                     warm_hits += after["hits"] - before["hits"]
@@ -574,7 +707,8 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
         if jobs > 1 and len(todo) > 1:
             try:
                 try:
-                    _run_parallel(todo, jobs, on_result=_parallel_result)
+                    _run_parallel(todo, jobs, on_result=_parallel_result,
+                                  span_ids=spans)
                     parallel = True
                 finally:
                     # Workers counted their warm events in their own
@@ -596,20 +730,35 @@ def run_sweep(points: Sequence[SweepPoint], *, jobs: Optional[int] = None,
                 # did not already complete in a worker.  A *point* raising
                 # is not an infrastructure failure and propagates instead.
                 fallback_reason = f"{type(exc).__name__}: {exc}"
-                _run_serial_committing(
-                    [pos for pos, done in enumerate(completed) if not done])
+                telemetry.log("warning", "runner",
+                              "worker pool unavailable; falling back to "
+                              "serial execution", reason=fallback_reason)
+                remaining = [pos for pos, done in enumerate(completed)
+                             if not done]
+                for pos in remaining:
+                    telemetry.emit("point_retried", run_id=run_id,
+                                   span_id=spans[pos],
+                                   point_slug=point_slug(todo[pos]),
+                                   reason="pool_fallback")
+                _run_serial_committing(remaining)
         else:
             _run_serial_committing(range(len(todo)))
 
+    elapsed = time.perf_counter() - started
+    telemetry.emit("run_end", run_id=run_id, ok=True,
+                   elapsed_s=round(elapsed, 6), parallel=parallel,
+                   fallback_reason=fallback_reason,
+                   warm_hits=warm_hits, warm_misses=warm_misses)
     return SweepOutcome(
         results=results,
         jobs=jobs,
         parallel=parallel,
         cache_hits=cache_hits,
         cache_misses=len(pending),
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=elapsed,
         fallback_reason=fallback_reason,
         warm_hits=warm_hits,
         warm_misses=warm_misses,
         points=tuple(points),
+        run_id=run_id,
     )

@@ -170,12 +170,17 @@ class Tracer(Observer):
                 row["conflicts"] += 1
         return out
 
-    def to_chrome(self) -> Dict[str, Any]:
+    def to_chrome(self, extra: Optional[Dict[str, Any]] = None,
+                  ) -> Dict[str, Any]:
         """The trace as a ``chrome://tracing`` JSON object.
 
         Cycle stamps convert to microseconds through ``cpu_ghz`` (the
         Trace Event Format's ``ts``/``dur`` unit); instantaneous events
         use phase ``"i"``, spans use complete events (``"X"``).
+        ``extra`` merges into ``otherData`` — the sweep runner stamps
+        provenance (worker pid, ``run_id``/``span_id``, ``point_slug``)
+        there so traces from different pool workers sharing a trace dir
+        can never mis-join.
         """
         scale = 1.0 / (self.cpu_ghz * 1000.0)  # cycles -> microseconds
         trace_events: List[Dict[str, Any]] = []
@@ -196,19 +201,23 @@ class Tracer(Observer):
             if event.args:
                 record["args"] = event.args
             trace_events.append(record)
+        other_data: Dict[str, Any] = {
+            "cpu_ghz": self.cpu_ghz,
+            "event_counts": self.counts(),
+        }
+        if extra:
+            other_data.update(extra)
         return {
             "traceEvents": trace_events,
             "displayTimeUnit": "ns",
-            "otherData": {
-                "cpu_ghz": self.cpu_ghz,
-                "event_counts": self.counts(),
-            },
+            "otherData": other_data,
         }
 
-    def write_chrome(self, path: str) -> str:
+    def write_chrome(self, path: str,
+                     extra: Optional[Dict[str, Any]] = None) -> str:
         """Serialize :meth:`to_chrome` to ``path``; returns the path."""
         with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.to_chrome(), fh)
+            json.dump(self.to_chrome(extra), fh)
         return path
 
 
@@ -265,7 +274,7 @@ def summarize_chrome_trace(path: str) -> Dict[str, Any]:
                 row["empties"] += 1
             elif kind == "conflict":
                 row["conflicts"] += 1
-    return {
+    summary = {
         "path": path,
         "cpu_ghz": cpu_ghz,
         "events": sum(counts.values()),
@@ -273,3 +282,9 @@ def summarize_chrome_trace(path: str) -> Dict[str, Any]:
         "span_cycles": [span_start or 0, span_end or 0],
         "per_requestor": per_requestor,
     }
+    provenance = {key: other[key]
+                  for key in ("pid", "run_id", "span_id", "point_slug")
+                  if key in other}
+    if provenance:
+        summary["provenance"] = provenance
+    return summary

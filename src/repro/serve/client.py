@@ -43,6 +43,9 @@ class JobResult:
     warm_misses: int = 0
     elapsed_seconds: float = 0.0
     events: int = 0
+    #: Causal run ID the daemon minted for this job — the join key into
+    #: its telemetry event log (see :mod:`repro.obs.telemetry`).
+    run_id: Optional[str] = None
 
     def __iter__(self):
         return iter(self.results)
@@ -140,6 +143,7 @@ class ServeClient:
                     warm_misses=int(event.get("warm_misses") or 0),
                     elapsed_seconds=float(event.get("elapsed_s") or 0.0),
                     events=seen,
+                    run_id=event.get("run_id"),
                 )
 
     def metrics(self) -> Dict[str, Any]:

@@ -17,15 +17,27 @@ Requests (client -> server)::
 
 Events (server -> client, streamed)::
 
-    {"event": "accepted", "job_id": "job-3", "id": "my-tag", "points": 4}
+    {"event": "accepted", "job_id": "job-3", "id": "my-tag", "points": 4,
+     "run_id": "run-1a2b..."}
     {"event": "point", "job_id": "job-3", "index": 1,
      "source": "executed|cache|dedup|inline", "payload": {...},
-     "elapsed_s": 1.2}
+     "elapsed_s": 1.2, "span_id": "span-3c4d..."}
     {"event": "done", "job_id": "job-3", "ok": true, "results": [...],
-     "sources": [...], "warm_hits": 3, "warm_misses": 1, "elapsed_s": 4.1}
+     "sources": [...], "warm_hits": 3, "warm_misses": 1, "elapsed_s": 4.1,
+     "run_id": "run-1a2b..."}
     {"event": "metrics", "payload": {...}}   # registry snapshot + stats
     {"event": "status", "payload": {...}}
     {"event": "error", "message": "...", "id": "my-tag"}
+
+``run_id``/``span_id`` are the causal telemetry IDs from
+:mod:`repro.obs.telemetry`: each job gets a ``run_id``, each
+deduplicated execution a ``span_id`` (additive fields — protocol
+revision unchanged).  When the daemon runs with a telemetry directory,
+they join the client's streamed events to the daemon's NDJSON event log
+and the per-point trace/metrics artifacts.  The ``metrics`` payload's
+``stats.workers`` section carries the live fleet-health snapshot
+(per-worker throughput, lease ages, stragglers) that ``repro top``
+renders.
 
 Experiments are named server-side: a submit either references one of the
 registered figure-point functions (:data:`EXPERIMENTS`) or — for tests,

@@ -47,9 +47,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.exp import warmstore
 from repro.exp.cache import ResultCache
 from repro.exp.runner import (PoolUnavailableError, WorkerPool, _run_point,
-                              default_jobs, get_pool, pool_task_env)
+                              default_jobs, get_pool, point_slug,
+                              pool_task_env)
 from repro.exp.sweep import SweepPoint
+from repro.obs import telemetry
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import FleetHealth
 from repro.serve.protocol import point_key
 
 #: Idle workers a quiescent daemon keeps alive (warm, ready for the next
@@ -67,6 +70,9 @@ class Job:
         self.client_id = client_id
         self.points = list(points)
         self.priority = int(priority)
+        #: Causal run ID for this job's telemetry records (one per
+        #: submission, like ``run_sweep`` mints one per sweep).
+        self.run_id = telemetry.new_run_id()
         self._emit = emit
         self.results: List[Any] = [None] * len(points)
         self.sources: List[Optional[str]] = [None] * len(points)
@@ -101,7 +107,8 @@ class Job:
 class _Task:
     """One deduplicated unit of execution; fans out to subscribers."""
 
-    __slots__ = ("key", "point", "priority", "order", "owner", "subscribers")
+    __slots__ = ("key", "point", "priority", "order", "owner", "subscribers",
+                 "span_id", "run_id")
 
     def __init__(self, key: str, point: SweepPoint, priority: int,
                  order: int, owner: str,
@@ -112,6 +119,10 @@ class _Task:
         self.order = order
         self.owner = owner  # client whose fair-share slot this occupies
         self.subscribers: List[Tuple[Job, int]] = [subscriber]
+        # One execution span regardless of how many jobs subscribe: a
+        # deduped duplicate chains into this same span.
+        self.span_id = telemetry.new_span_id()
+        self.run_id = subscriber[0].run_id
 
 
 class ServeScheduler:
@@ -134,13 +145,22 @@ class ServeScheduler:
                  cache: Optional[ResultCache] = None,
                  pool: Optional[WorkerPool] = None,
                  use_pool: bool = True,
-                 idle_workers: int = DEFAULT_IDLE_WORKERS) -> None:
+                 idle_workers: int = DEFAULT_IDLE_WORKERS,
+                 straggler_factor: float = 4.0,
+                 straggler_min_seconds: float = 1.0) -> None:
         self.max_jobs = max(1, int(jobs)) if jobs else default_jobs()
         self.cache = cache
         self.use_pool = use_pool
         self._pool = pool
         self.idle_workers = max(0, int(idle_workers))
         self.registry = MetricsRegistry()
+        #: Worker health model fed by every dispatch/completion; its
+        #: snapshot rides the metrics endpoint and ``repro top``, and a
+        #: point exceeding ``straggler_factor`` × the running median (at
+        #: least ``straggler_min_seconds``) is flagged in both the event
+        #: log and the ``serve.points.stragglers`` counter.
+        self.health = FleetHealth(straggler_factor=straggler_factor,
+                                  min_seconds=straggler_min_seconds)
         self._queued: Dict[str, _Task] = {}
         self._running: Dict[str, _Task] = {}
         self._active = 0
@@ -172,6 +192,11 @@ class ServeScheduler:
         """Stop dispatching; queued tasks are dropped, running ones are
         awaited so their results still reach subscribers and caches."""
         self._stopping = True
+        for task in self._queued.values():
+            telemetry.emit("point_cancelled", run_id=task.run_id,
+                           span_id=task.span_id,
+                           point_slug=point_slug(task.point),
+                           reason="scheduler_stopping")
         self._queued.clear()
         while self._active:
             self._wake.clear()
@@ -200,8 +225,12 @@ class ServeScheduler:
                   emit)
         self._jobs[job.job_id] = job
         self.registry.counter("serve.jobs.submitted").inc()
+        telemetry.emit("job_start", run_id=job.run_id, job_id=job.job_id,
+                       client=client_id, points=len(points),
+                       priority=job.priority)
         accepted: Dict[str, Any] = {"event": "accepted",
                                     "job_id": job.job_id,
+                                    "run_id": job.run_id,
                                     "points": len(points), "protocol": 1}
         if tag is not None:
             accepted["id"] = tag
@@ -211,6 +240,8 @@ class ServeScheduler:
                 hit = self.cache.get(point.experiment, point.params)
                 if not ResultCache.is_missing(hit):
                     self.registry.counter("serve.points.cache_hits").inc()
+                    telemetry.emit("point_cached", run_id=job.run_id,
+                                   point_slug=point_slug(point))
                     self._deliver(job, index, hit, "cache", 0.0)
                     continue
             key = point_key(point)
@@ -218,11 +249,21 @@ class ServeScheduler:
             if task is not None:
                 task.subscribers.append((job, index))
                 self.registry.counter("serve.points.deduped").inc()
+                # The duplicate's own run chains into the one execution
+                # span — this record is the join between them.
+                telemetry.emit("point_deduped", run_id=job.run_id,
+                               span_id=task.span_id, job_id=job.job_id,
+                               owner_run_id=task.run_id,
+                               point_slug=point_slug(point))
                 continue
             task = _Task(key, point, priority, next(self._order), client_id,
                          (job, index))
             self._queued[key] = task
             self.registry.counter("serve.points.queued").inc()
+            telemetry.emit("point_queued", run_id=task.run_id,
+                           span_id=task.span_id, client=client_id,
+                           point_slug=point_slug(point),
+                           experiment=point.experiment)
         self._wake.set()
         return job
 
@@ -243,8 +284,14 @@ class ServeScheduler:
             if not task.subscribers:
                 del self._queued[key]
                 dropped += 1
+                telemetry.emit("point_cancelled", run_id=task.run_id,
+                               span_id=task.span_id,
+                               point_slug=point_slug(task.point),
+                               reason="client_disconnected")
         if dropped:
             self.registry.counter("serve.points.cancelled").inc(dropped)
+            telemetry.log("info", "serve", "client cancelled; queued points "
+                          "dropped", client=client_id, dropped=dropped)
         self._wake.set()
         return dropped
 
@@ -261,6 +308,10 @@ class ServeScheduler:
             if not task.subscribers:
                 del self._queued[key]
                 self.registry.counter("serve.points.cancelled").inc()
+                telemetry.emit("point_cancelled", run_id=task.run_id,
+                               span_id=task.span_id,
+                               point_slug=point_slug(task.point),
+                               reason="job_cancelled")
         self._wake.set()
         return True
 
@@ -314,12 +365,15 @@ class ServeScheduler:
         source = "executed"
         warm_delta = {"hits": 0, "misses": 0}
         try:
-            payload, warm_delta, source = await self._run_task(task.point)
+            payload, warm_delta, source = await self._run_task(task)
         except asyncio.CancelledError:
             raise
         except BaseException as exc:  # the point itself failed
             error = f"{type(exc).__name__}: {exc}"
             self.registry.counter("serve.points.failed").inc()
+            telemetry.log("error", "serve", "point failed",
+                          span_id=task.span_id,
+                          point=point_slug(task.point), error=error)
         finally:
             self._running.pop(task.key, None)
             self._active -= 1
@@ -342,15 +396,26 @@ class ServeScheduler:
                                    payload)
                 except (TypeError, ValueError, OSError):
                     pass  # non-JSON payloads stay in-flight-dedup only
+            telemetry.emit("point_committed", run_id=task.run_id,
+                           span_id=task.span_id,
+                           point_slug=point_slug(task.point), source=source,
+                           elapsed_s=round(elapsed, 6),
+                           subscribers=len(task.subscribers))
+        else:
+            telemetry.emit("point_failed", run_id=task.run_id,
+                           span_id=task.span_id,
+                           point_slug=point_slug(task.point), error=error)
         for job, index in task.subscribers:
             if job.cancelled:
                 continue
             job.warm_hits += warm_delta["hits"]
             job.warm_misses += warm_delta["misses"]
-            self._deliver(job, index, payload, source, elapsed, error=error)
+            self._deliver(job, index, payload, source, elapsed, error=error,
+                          span_id=task.span_id)
 
     def _deliver(self, job: Job, index: int, payload: Any, source: str,
-                 elapsed: float, error: Optional[str] = None) -> None:
+                 elapsed: float, error: Optional[str] = None,
+                 span_id: Optional[str] = None) -> None:
         job.results[index] = payload
         job.sources[index] = source
         job.errors[index] = error
@@ -358,13 +423,19 @@ class ServeScheduler:
         event = {"event": "point", "job_id": job.job_id, "index": index,
                  "source": source, "payload": payload,
                  "elapsed_s": round(elapsed, 6)}
+        if span_id is not None:
+            event["span_id"] = span_id
         if error is not None:
             event["error"] = error
         job.emit(event)
         if job.remaining == 0:
             job.elapsed_seconds = time.perf_counter() - job.started
+            telemetry.emit("job_end", run_id=job.run_id, job_id=job.job_id,
+                           ok=job.ok,
+                           elapsed_s=round(job.elapsed_seconds, 6))
             job.emit({
                 "event": "done", "job_id": job.job_id, "ok": job.ok,
+                "run_id": job.run_id,
                 "results": job.results, "sources": job.sources,
                 "errors": ([e for e in job.errors if e]
                            if not job.ok else []),
@@ -377,8 +448,9 @@ class ServeScheduler:
     # Point execution (pool with retry, inline fallback)
     # ------------------------------------------------------------------
 
-    async def _run_task(self, point: SweepPoint,
+    async def _run_task(self, task: _Task,
                         ) -> Tuple[Any, Dict[str, int], str]:
+        slug = point_slug(task.point)
         if self.use_pool:
             # A worker that dies mid-request (OOM-killed, crashed) is
             # retired and the point retried once on a fresh worker; a
@@ -389,32 +461,82 @@ class ServeScheduler:
                     handle = self.pool.checkout()
                 except PoolUnavailableError:
                     break  # no worker processes here: run inline
+                worker_pid = handle.process.pid
+                self.health.record_dispatch(worker_pid, task.span_id,
+                                            point_slug=slug,
+                                            run_id=task.run_id)
+                telemetry.emit("point_dispatched", run_id=task.run_id,
+                               span_id=task.span_id, point_slug=slug,
+                               worker_pid=worker_pid, attempt=_attempt)
                 try:
-                    payload, delta = await self._run_on_handle(handle, point)
-                except (EOFError, OSError, BrokenPipeError):
+                    payload, delta = await self._run_on_handle(handle, task)
+                except (EOFError, OSError, BrokenPipeError) as exc:
+                    self.health.record_done(worker_pid, task.span_id,
+                                            ok=False)
                     self.pool.retire(handle)
                     self.registry.counter("serve.workers.died").inc()
+                    telemetry.emit("point_retried", run_id=task.run_id,
+                                   span_id=task.span_id, point_slug=slug,
+                                   worker_pid=worker_pid,
+                                   reason="worker_died")
+                    telemetry.log("warning", "serve",
+                                  "worker died mid-point; retrying",
+                                  worker_pid=worker_pid, point=slug,
+                                  error=f"{type(exc).__name__}: {exc}")
                     continue
                 except BaseException:
+                    self._finish_flight(worker_pid, task, slug, ok=False)
                     self.pool.checkin(handle)
                     raise
+                self._finish_flight(worker_pid, task, slug, ok=True)
                 self.pool.checkin(handle)
                 self._record_warm(delta)
                 return payload, delta, "executed"
         self.registry.counter("serve.points.inline").inc()
+        # Inline degradation: the daemon process is the worker.  Causal
+        # IDs pass as arguments (not env) so concurrent inline points
+        # can't trample each other's ambient span.
+        inline_pid = os.getpid()
+        self.health.record_dispatch(inline_pid, task.span_id,
+                                    point_slug=slug, run_id=task.run_id)
+        telemetry.emit("point_dispatched", run_id=task.run_id,
+                       span_id=task.span_id, point_slug=slug,
+                       worker_pid=inline_pid, inline=True)
         loop = asyncio.get_running_loop()
         before = warmstore.counters()
-        payload = await loop.run_in_executor(None, _run_point, point)
+        try:
+            payload = await loop.run_in_executor(
+                None, _run_point, task.point, task.run_id, task.span_id)
+        except BaseException:
+            self._finish_flight(inline_pid, task, slug, ok=False)
+            raise
+        self._finish_flight(inline_pid, task, slug, ok=True)
         after = warmstore.counters()
         delta = {key: after[key] - before[key] for key in after}
         return payload, delta, "inline"
 
-    async def _run_on_handle(self, handle: Any, point: SweepPoint,
+    def _finish_flight(self, pid: int, task: _Task, slug: str,
+                       ok: bool) -> None:
+        """Close the health ledger on one dispatch attempt; a completion
+        over the straggler threshold is counted and logged exactly once."""
+        elapsed, straggler = self.health.record_done(pid, task.span_id,
+                                                     ok=ok)
+        if straggler:
+            self.registry.counter("serve.points.stragglers").inc()
+            telemetry.emit("point_straggler", run_id=task.run_id,
+                           span_id=task.span_id, point_slug=slug,
+                           worker_pid=pid, age_s=round(elapsed, 6),
+                           threshold_s=self.health.threshold())
+
+    async def _run_on_handle(self, handle: Any, task: _Task,
                              ) -> Tuple[Any, Dict[str, int]]:
         """Send one task to a leased worker and await its reply without
         blocking the event loop (the pipe rides ``loop.add_reader``)."""
         loop = asyncio.get_running_loop()
-        handle.send_task(0, point, pool_task_env())
+        env = pool_task_env()
+        env[telemetry.ENV_RUN_ID] = task.run_id
+        env[telemetry.ENV_SPAN_ID] = task.span_id
+        handle.send_task(0, task.point, env)
         future: asyncio.Future = loop.create_future()
 
         def _ready() -> None:
@@ -445,9 +567,41 @@ class ServeScheduler:
     # Introspection
     # ------------------------------------------------------------------
 
+    def _health_snapshot(self) -> Dict[str, Any]:
+        """Health view for the metrics endpoint; newly overdue in-flight
+        points are flagged here (each exactly once) so polling the
+        endpoint is what surfaces live stragglers."""
+        for flagged in self.health.flag_stragglers():
+            self.registry.counter("serve.points.stragglers").inc()
+            telemetry.emit("point_straggler", run_id=flagged.get("run_id"),
+                           span_id=flagged["span_id"],
+                           point_slug=flagged.get("point_slug"),
+                           worker_pid=flagged["pid"],
+                           age_s=flagged["age_s"],
+                           threshold_s=flagged["threshold_s"],
+                           in_flight=True)
+        snapshot = self.health.snapshot()
+        # Heartbeat gauges mirror the headline numbers into the registry
+        # so a plain metrics scrape sees fleet health without parsing the
+        # nested snapshot.
+        self.registry.gauge("serve.workers.known").set(
+            len(snapshot["workers"]))
+        self.registry.gauge("serve.points.in_flight").set(
+            len(snapshot["in_flight"]))
+        if snapshot["median_point_seconds"] is not None:
+            self.registry.gauge("serve.point_seconds.median").set(
+                snapshot["median_point_seconds"])
+        self.registry.gauge("serve.stragglers.total").set(
+            snapshot["stragglers_total"])
+        return snapshot
+
     def stats(self) -> Dict[str, Any]:
         jobs_done = sum(1 for job in self._jobs.values()
                         if job.done.is_set())
+        queued_per_client: Dict[str, int] = {}
+        for task in self._queued.values():
+            queued_per_client[task.owner] = (
+                queued_per_client.get(task.owner, 0) + 1)
         return {
             "max_jobs": self.max_jobs,
             "queued_points": len(self._queued),
@@ -455,9 +609,11 @@ class ServeScheduler:
             "jobs_total": len(self._jobs),
             "jobs_done": jobs_done,
             "clients_running": dict(self._running_per_client),
+            "clients_queued": queued_per_client,
             "pool_workers": len(self._pool) if self._pool is not None else 0,
             "result_cache": (self.cache.stats()
                              if self.cache is not None else None),
             "counters": {name: counter.value for name, counter in
                          sorted(self.registry.counters.items())},
+            "workers": self._health_snapshot(),
         }

@@ -20,6 +20,7 @@ import json
 from typing import Any, Dict, Optional, Tuple
 
 from repro.obs import metrics as obs_metrics
+from repro.obs.telemetry import log as tlog
 from repro.serve import protocol
 from repro.serve.scheduler import ServeScheduler
 
@@ -65,6 +66,9 @@ class ServeServer:
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         client_id = f"client-{next(self._client_ids)}"
+        peer = writer.get_extra_info("peername")
+        tlog("debug", "serve", "client connected", client=client_id,
+             peer=str(peer))
         events: "asyncio.Queue[Optional[Dict[str, Any]]]" = asyncio.Queue()
         writer_task = asyncio.ensure_future(self._write_loop(events, writer))
         try:
@@ -78,6 +82,8 @@ class ServeServer:
                     message = protocol.decode(line)
                     await self._dispatch(client_id, message, events)
                 except protocol.ProtocolError as exc:
+                    tlog("warning", "serve", "protocol error",
+                         client=client_id, error=str(exc))
                     events.put_nowait({"event": "error", "message": str(exc)})
                 if self._shutdown.is_set():
                     break
@@ -90,6 +96,7 @@ class ServeServer:
         finally:
             # Disconnect semantics: this client's queued points die with
             # it; nobody else's do.
+            tlog("debug", "serve", "client disconnected", client=client_id)
             self.scheduler.cancel_client(client_id)
             events.put_nowait(None)
             try:
@@ -140,6 +147,7 @@ class ServeServer:
                                "job_id": message.get("job_id"),
                                "ok": cancelled})
         elif op == "shutdown":
+            tlog("info", "serve", "shutdown requested", client=client_id)
             events.put_nowait({"event": "shutting_down"})
             self.request_shutdown()
         else:
@@ -169,8 +177,15 @@ async def run_server(scheduler: ServeScheduler, host: str, port: int,
         with open(port_file, "w") as handle:
             handle.write(str(bound_port))
     if announce:
+        # The one deliberate stdout line: scripts parse it to learn the
+        # bound port (see the serve-smoke CI job).  Diagnostics beyond it
+        # go through the structured logger.
         print(json.dumps({"serving": f"{bound_host}:{bound_port}",
                           "jobs": scheduler.max_jobs,
                           "result_cache": bool(scheduler.cache)}),
               flush=True)
+    tlog("info", "serve", "listening", host=bound_host, port=bound_port,
+         jobs=scheduler.max_jobs)
     await server.serve_until_shutdown()
+    tlog("info", "serve", "server stopped", host=bound_host,
+         port=bound_port)

@@ -136,3 +136,52 @@ def test_cache_command_stats_and_prune(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "removed 1 stale entries" in out
     assert ResultCache(results_dir).entry_count() == 0
+
+
+def test_top_once_offline_dir(tmp_path, capsys, monkeypatch):
+    from repro.exp import run_sweep
+    from repro.exp.sweep import SweepPoint
+    from repro.obs import telemetry
+
+    tele_dir = str(tmp_path / "events")
+    points = [SweepPoint("t", telemetry.sleep_point, {"seconds": 0.0,
+                                                      "tag": i})
+              for i in range(3)]
+    run_sweep(points, jobs=1, telemetry_dir=tele_dir)
+    telemetry.reset_sink()
+    assert main(["top", "--once", "--dir", tele_dir]) == 0
+    out = capsys.readouterr().out
+    assert "repro top" in out
+    assert "points 3/3 done" in out
+
+
+def test_top_unreachable_daemon(capsys):
+    # Port 1 is never a repro serve daemon.
+    assert main(["top", "--once", "--port", "1", "--timeout", "2"]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_bench_history_table_and_markdown(tmp_path, capsys):
+    import json
+
+    (tmp_path / "BENCH_PR1.json").write_text(json.dumps(
+        {"simulator": {"ops_per_sec": 100}, "suite_seconds": 9.0}))
+    (tmp_path / "BENCH_PR2.json").write_text(json.dumps(
+        {"simulator": {"ops_per_sec": 150}, "suite_seconds": 6.0}))
+    out_md = str(tmp_path / "history.md")
+    assert main(["bench", "history", "--bench-dir", str(tmp_path),
+                 "--out", out_md]) == 0
+    out = capsys.readouterr().out
+    assert "benchmark history" in out
+    assert "PR1" in out and "PR2" in out
+    assert "+50.0%" in out
+    with open(out_md) as handle:
+        markdown = handle.read()
+    assert markdown.startswith("# Benchmark history")
+    assert "| simulator.ops_per_sec |" in markdown
+
+
+def test_serve_parser_accepts_telemetry_dir():
+    args = build_parser().parse_args(
+        ["serve", "--telemetry-dir", "/tmp/x", "--port", "0"])
+    assert args.telemetry_dir == "/tmp/x"
