@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-quick bench-serve bench-clean examples results clean
+.PHONY: install test bench bench-quick bench-serve bench-sweep bench-clean examples results clean
 
 install:
 	pip install -e . || pip install -e . --no-build-isolation
@@ -14,6 +14,9 @@ bench-quick:
 
 bench-serve:
 	python scripts/bench_serve.py
+
+bench-sweep:
+	python scripts/bench_sweep.py
 
 bench-clean:
 	rm -rf benchmarks/results/.cache benchmarks/results/.warmstore

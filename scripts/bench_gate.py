@@ -10,9 +10,13 @@ When the committed record carries a ``simulator_miss_batch`` section
 vs scalar, both measured fresh back-to-back so host-speed drift cancels
 out of the ratio) is gated against the recorded speedup — absolute
 ops/s on that row swings more than the threshold between runs on a
-shared single-vCPU runner, but the ratio is stable.  Older records
-without the section skip that check rather than fail, so the gate stays
-usable across the PR 6 -> PR 7 boundary.
+shared single-vCPU runner, but the ratio is stable.  Each gate
+baselines against the newest committed record that carries *its* metric
+(snapshots grow sections over time), so a record missing one section
+skips that gate rather than erroring.  The committed ``sweep_engine``
+section (PR 10+) is additionally held to absolute acceptance floors:
+adaptive rep savings >=2x, straggler-re-dispatch p99 improvement >=1.5x,
+zero duplicate commits and zero event-chain errors.
 Intended as a cheap CI step — it runs only the simulator micro-bench
 (median of ``--runs`` samples on a quiesced heap, seconds not minutes),
 not the figure sweeps::
@@ -47,10 +51,10 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 
-def newest_baseline(root: str) -> "tuple":
-    """``(path, record)`` of the highest-numbered BENCH_PR*.json
-    carrying a simulator section."""
-    best = None
+def load_records(root: str) -> "list":
+    """Every readable BENCH_PR*.json under ``root`` as ``(rank, path,
+    record)``, newest PR first."""
+    records = []
     for path in glob.glob(os.path.join(root, "BENCH_PR*.json")):
         match = re.search(r"BENCH_PR(\d+)\.json$", path)
         if not match:
@@ -58,15 +62,38 @@ def newest_baseline(root: str) -> "tuple":
         try:
             with open(path) as handle:
                 record = json.load(handle)
-            record["simulator"]["ops_per_sec"]
-        except (OSError, KeyError, ValueError):
+        except (OSError, ValueError):
             continue
-        rank = int(match.group(1))
-        if best is None or rank > best[0]:
-            best = (rank, path, record)
-    if best is None:
-        return None, None
-    return best[1], best[2]
+        if isinstance(record, dict):
+            records.append((int(match.group(1)), path, record))
+    records.sort(key=lambda item: -item[0])
+    return records
+
+
+def dig(record: dict, dotted: str):
+    """Numeric value at a dotted path, or ``None`` when absent."""
+    node = record
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def newest_with(records: "list", dotted: str) -> "tuple":
+    """``(path, value)`` from the newest record carrying ``dotted``.
+
+    Snapshots grow sections over time; each gate baselines against the
+    newest record that *has* its metric, so a snapshot missing one
+    section skips that gate instead of silencing (or breaking) all of
+    them."""
+    for _rank, path, record in records:
+        value = dig(record, dotted)
+        if value is not None:
+            return path, value
+    return None, None
 
 
 def measure(runs: int) -> dict:
@@ -175,43 +202,46 @@ def main(argv=None) -> int:
         return 0
 
     if args.baseline:
-        path = args.baseline
         try:
-            with open(path) as handle:
+            with open(args.baseline) as handle:
                 baseline = json.load(handle)
-            baseline["simulator"]["ops_per_sec"]
-        except (OSError, KeyError, ValueError) as exc:
-            print(f"bench gate: cannot read baseline {path}: {exc}")
+        except (OSError, ValueError) as exc:
+            print(f"bench gate: cannot read baseline {args.baseline}: {exc}")
             return 2
+        records = [(0, args.baseline, baseline)]
     else:
-        path, baseline = newest_baseline(REPO_ROOT)
-        if path is None:
+        records = load_records(REPO_ROOT)
+        if not records:
             print("bench gate: no committed BENCH_PR*.json baseline; "
                   "nothing to gate against")
             return 0
 
     failed = False
-    baseline_ops = baseline["simulator"]["ops_per_sec"]
-    floor = baseline_ops * (1.0 - args.threshold)
-    verdict = "OK" if fresh["ops_per_sec"] >= floor else "FAIL"
-    print(f"baseline {os.path.basename(path)}: {baseline_ops:,} ops/s; "
-          f"floor at -{args.threshold:.0%}: {floor:,.0f} ops/s -> {verdict}")
-    if verdict == "FAIL":
-        failed = True
-        drop = 1.0 - fresh["ops_per_sec"] / baseline_ops
-        print(f"bench gate: simulator hot path dropped {drop:.1%} vs "
-              f"{os.path.basename(path)} (limit {args.threshold:.0%}). "
-              f"If the change intentionally trades speed, refresh the "
-              f"committed record via `make bench-quick`.")
-        print(_trajectory("simulator.ops_per_sec", fresh["ops_per_sec"]))
+    path, baseline_ops = newest_with(records, "simulator.ops_per_sec")
+    if path is None:
+        print("bench gate: no committed record carries "
+              "simulator.ops_per_sec; skipping the hot-path gate")
+    else:
+        floor = baseline_ops * (1.0 - args.threshold)
+        verdict = "OK" if fresh["ops_per_sec"] >= floor else "FAIL"
+        print(f"baseline {os.path.basename(path)}: {baseline_ops:,.0f} "
+              f"ops/s; floor at -{args.threshold:.0%}: {floor:,.0f} ops/s "
+              f"-> {verdict}")
+        if verdict == "FAIL":
+            failed = True
+            drop = 1.0 - fresh["ops_per_sec"] / baseline_ops
+            print(f"bench gate: simulator hot path dropped {drop:.1%} vs "
+                  f"{os.path.basename(path)} (limit {args.threshold:.0%}). "
+                  f"If the change intentionally trades speed, refresh the "
+                  f"committed record via `make bench-quick`.")
+            print(_trajectory("simulator.ops_per_sec", fresh["ops_per_sec"]))
 
-    try:
-        miss_baseline = float(
-            baseline["simulator_miss_batch"]["conflict_replay"]["speedup"])
-    except (KeyError, TypeError, ValueError):
-        print("bench gate: baseline has no simulator_miss_batch section "
-              "(pre-PR 7 record); skipping the miss-engine gate")
-        miss_baseline = None
+    path, miss_baseline = newest_with(
+        records, "simulator_miss_batch.conflict_replay.speedup")
+    if path is None:
+        print("bench gate: no committed record carries the "
+              "simulator_miss_batch section (pre-PR 7); skipping the "
+              "miss-engine gate")
     if miss_baseline is not None:
         fresh_miss = measure_miss_batch(args.runs)
         print(f"fresh miss-engine conflict replay: "
@@ -236,7 +266,57 @@ def main(argv=None) -> int:
                   f"`make bench-quick`.")
             print(_trajectory("miss.conflict_replay.speedup",
                               fresh_miss["speedup"]))
+
+    if not gate_sweep_engine(records):
+        failed = True
     return 1 if failed else 0
+
+
+#: Absolute acceptance floors for the committed sweep-engine bench (the
+#: PR 10 headline claims): adaptive early-stop must save >=2x the reps of
+#: the fixed grid at equal CI targets, straggler re-dispatch must improve
+#: sweep p99 by >=1.5x under an injected slow worker, and both runs must
+#: be causally clean — no duplicate cache commits, no event-chain errors.
+SWEEP_ENGINE_FLOORS = [
+    ("sweep_engine.adaptive.rep_savings_ratio", ">=", 2.0),
+    ("sweep_engine.straggler_redispatch.p99_improvement", ">=", 1.5),
+    ("sweep_engine.adaptive.duplicate_commits", "==", 0.0),
+    ("sweep_engine.adaptive.chain_errors", "==", 0.0),
+    ("sweep_engine.straggler_redispatch.duplicate_commits", "==", 0.0),
+    ("sweep_engine.straggler_redispatch.chain_errors", "==", 0.0),
+]
+
+
+def gate_sweep_engine(records: "list") -> bool:
+    """Validate the committed ``sweep_engine`` section against absolute
+    floors.  Unlike the hot-path gates this does not re-measure — the
+    numbers come from ``make bench-sweep`` (and the adaptive-smoke CI job
+    re-proves the behaviour live); the gate keeps a committed snapshot
+    from ever claiming less than the acceptance bars."""
+    path, _value = newest_with(records, SWEEP_ENGINE_FLOORS[0][0])
+    if path is None:
+        print("bench gate: no committed record carries the sweep_engine "
+              "section (pre-PR 10); skipping the sweep-engine gate")
+        return True
+    record = next(rec for _rank, rec_path, rec in records
+                  if rec_path == path)
+    ok = True
+    for dotted, op, floor in SWEEP_ENGINE_FLOORS:
+        value = dig(record, dotted)
+        if value is None:
+            print(f"bench gate: {os.path.basename(path)} lacks {dotted}; "
+                  f"skipping that floor")
+            continue
+        passed = value >= floor if op == ">=" else value == floor
+        print(f"sweep-engine {os.path.basename(path)}: {dotted} = "
+              f"{value:g} (floor {op} {floor:g}) -> "
+              f"{'OK' if passed else 'FAIL'}")
+        if not passed:
+            ok = False
+            print(f"bench gate: committed sweep-engine metric {dotted} "
+                  f"misses its acceptance floor; re-run `make bench-sweep` "
+                  f"or fix the regression before refreshing the record.")
+    return ok
 
 
 def _trajectory(metric: str, fresh_value: float) -> str:

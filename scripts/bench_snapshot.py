@@ -5,7 +5,7 @@ Runs a reduced slice of every figure sweep through :mod:`repro.exp`
 (parallel + cached exactly like the benches), times raw simulator,
 scheduler, and warm-up/snapshot microbenchmarks, measures the
 warm-state store's cold-vs-warm figure passes, and writes the whole
-record to ``BENCH_PR9.json`` at the repo root.  Intended for
+record to ``BENCH_PR10.json`` at the repo root.  Intended for
 ``make bench-quick``::
 
     PYTHONPATH=src python scripts/bench_snapshot.py [--jobs N] [--no-cache]
@@ -54,7 +54,7 @@ CACHE_DIR = os.path.join(REPO_ROOT, "benchmarks", "results", ".cache")
 WARM_DIR = os.path.join(REPO_ROOT, "benchmarks", "results", ".warmstore")
 TELEMETRY_DIR = os.path.join(REPO_ROOT, "benchmarks", "results",
                              ".telemetry-bench")
-OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR9.json")
+OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR10.json")
 BASELINE = os.path.join(REPO_ROOT, "BENCH_PR7.json")
 BASELINE_NAME = os.path.basename(BASELINE)
 
@@ -504,6 +504,16 @@ def main(argv=None) -> int:
           f"{overhead['chain_errors']} chain errors)")
 
     record["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    # The sweep-engine section is produced by scripts/bench_sweep.py
+    # (make bench-sweep) and merged into the same snapshot; a quick-bench
+    # refresh must not silently drop it.
+    try:
+        with open(args.output) as handle:
+            previous = json.load(handle)
+        if "sweep_engine" in previous:
+            record["sweep_engine"] = previous["sweep_engine"]
+    except (OSError, ValueError):
+        pass
     with open(args.output, "w") as handle:
         json.dump(record, handle, indent=2)
         handle.write("\n")

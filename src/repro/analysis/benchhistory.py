@@ -9,8 +9,8 @@ gate's failure diagnostics — so "simulator ops/s dropped 18%" comes with
 the context of where the metric has been since PR 1.
 
 Snapshots have grown sections over time (miss-batch engine in PR 7, the
-serve daemon in PR 8, telemetry overhead in PR 9); missing sections
-render as gaps, not errors.
+serve daemon in PR 8, telemetry overhead in PR 9, the adaptive sweep
+engine in PR 10); missing sections render as gaps, not errors.
 """
 
 from __future__ import annotations
@@ -39,6 +39,10 @@ BENCH_METRICS: List[Tuple[str, str, str]] = [
      "acceptance.storm_p99_over_solo_p50", "lower"),
     ("telemetry.warm_overhead_pct",
      "telemetry_overhead.overhead_pct", "lower"),
+    ("sweep.adaptive_rep_savings",
+     "sweep_engine.adaptive.rep_savings_ratio", "higher"),
+    ("sweep.redispatch_p99_improvement",
+     "sweep_engine.straggler_redispatch.p99_improvement", "higher"),
 ]
 
 _BENCH_RE = re.compile(r"BENCH_PR(\d+)\.json$")

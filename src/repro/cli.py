@@ -251,6 +251,82 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a fig8-style quality sweep through the sweep engine directly:
+    pick an execution backend (serial, pool, or a running daemon via
+    serve), optionally enable straggler re-dispatch, and — with
+    ``--adaptive`` — schedule repetitions in rounds and early-stop each
+    point once its BER confidence interval is tight enough."""
+    from repro.exp import (
+        AdaptiveConfig,
+        ConvergenceTarget,
+        ResultCache,
+        StragglerPolicy,
+        run_adaptive_sweep,
+        run_sweep,
+        sweep_points,
+    )
+    from repro.exp.figures import fig8_quality_point
+
+    points = sweep_points("fig8-quality", fig8_quality_point, "llc_mb",
+                          [float(mb) for mb in args.llc_mb],
+                          bits=args.bits, attacks=args.attacks)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    straggler = None
+    if args.redispatch:
+        straggler = StragglerPolicy(factor=args.straggler_factor,
+                                    min_seconds=args.straggler_min_seconds)
+    serve_addr = (args.host, args.port) if args.backend == "serve" else None
+    common = dict(jobs=args.jobs, cache=cache,
+                  telemetry_dir=args.telemetry_dir, backend=args.backend,
+                  straggler=straggler, serve_addr=serve_addr)
+
+    if args.adaptive:
+        config = AdaptiveConfig(
+            rep_axis="seed", min_reps=args.min_reps, max_reps=args.max_reps,
+            round_reps=args.round_reps,
+            target=ConvergenceTarget(ber_ci_halfwidth=args.ber_ci,
+                                     capacity_rel_tol=args.capacity_tol))
+        outcome = run_adaptive_sweep(points, config=config, **common)
+        rows = []
+        for result in outcome.results:
+            pooled = result.pooled_streams()
+            worst = max(pooled.values(),
+                        key=lambda s: s["ci_halfwidth"]) if pooled else None
+            rows.append((
+                result.point.describe(), result.reps,
+                "yes" if result.converged else "NO",
+                f"{worst['ber']:.4f}" if worst else "-",
+                f"{worst['ci_halfwidth']:.4f}" if worst else "-"))
+        print(format_table(
+            ["point", "reps", "converged", "worst BER", "CI half-width"],
+            rows, title=f"adaptive sweep (target ±{args.ber_ci})"))
+        print(f"executed {outcome.executed_reps} reps vs "
+              f"{outcome.fixed_reps} fixed "
+              f"({outcome.rep_savings_ratio:.2f}x savings) in "
+              f"{outcome.rounds} rounds, {outcome.elapsed_seconds:.1f}s")
+        redispatches = sum(s.redispatches for s in outcome.sweeps)
+        backend = outcome.sweeps[-1].backend if outcome.sweeps else None
+        print(f"backend {backend or args.backend}, "
+              f"{redispatches} straggler re-dispatches")
+        return 0
+
+    outcome = run_sweep(points, **common)
+    rows = []
+    for point, payload in zip(points, outcome):
+        attacks = (payload or {}).get("attacks", {})
+        best = max((m.get("throughput_mbps", 0.0)
+                    for m in attacks.values()), default=0.0)
+        rows.append((point.describe(), len(attacks), f"{best:.2f}"))
+    print(format_table(["point", "channels", "best Mb/s"], rows,
+                       title="quality sweep"))
+    mode = outcome.backend or ("parallel" if outcome.parallel else "serial")
+    print(f"{len(points)} points in {outcome.elapsed_seconds:.1f}s "
+          f"(backend {mode}, jobs={outcome.jobs}, "
+          f"{outcome.redispatches} re-dispatches)")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     """Inspect or prune the on-disk result cache and warm-state store."""
     import os
@@ -612,6 +688,58 @@ def build_parser() -> argparse.ArgumentParser:
                         "summaries into the report")
     add_jobs(p)
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a quality sweep through the sweep engine: pick a "
+             "backend (serial|pool|serve), enable straggler re-dispatch, "
+             "or early-stop reps adaptively on CI convergence")
+    p.add_argument("--llc-mb", type=float, nargs="+", default=[8.0, 64.0],
+                   help="LLC sizes (MB) to sweep (default: 8 64)")
+    p.add_argument("--bits", type=int, default=128,
+                   help="message-length scale per channel (default 128)")
+    p.add_argument("--attacks", nargs="+", choices=sorted(ATTACKS),
+                   default=None,
+                   help="subset of channels (default: all seven)")
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", "serial", "pool", "serve"],
+                   help="execution backend: serial in-process, the "
+                        "fork-server pool, or a running `repro serve` "
+                        "daemon (default: auto picks serial/pool)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="daemon host for --backend serve")
+    p.add_argument("--port", type=int, default=9306,
+                   help="daemon port for --backend serve")
+    p.add_argument("--adaptive", action="store_true",
+                   help="schedule repetitions in rounds and early-stop "
+                        "each point once its worst-stream Wilson BER CI "
+                        "half-width drops below --ber-ci")
+    p.add_argument("--ber-ci", type=float, default=0.05, metavar="HW",
+                   help="target BER CI half-width (default 0.05)")
+    p.add_argument("--capacity-tol", type=float, default=None, metavar="TOL",
+                   help="also require capacity stability: relative spread "
+                        "of the trailing capacity window below TOL")
+    p.add_argument("--min-reps", type=int, default=2,
+                   help="repetition floor before early-stop may fire")
+    p.add_argument("--max-reps", type=int, default=8,
+                   help="repetition ceiling per point (the fixed-grid "
+                        "budget adaptive is measured against)")
+    p.add_argument("--round-reps", type=int, default=2,
+                   help="new repetitions per scheduling round")
+    p.add_argument("--redispatch", action="store_true",
+                   help="speculatively re-dispatch straggler points to "
+                        "idle workers (pool backend)")
+    p.add_argument("--straggler-factor", type=float, default=4.0,
+                   help="straggler threshold: this many times the running "
+                        "median point duration (default 4)")
+    p.add_argument("--straggler-min-seconds", type=float, default=1.0,
+                   help="never flag points younger than this (default 1s)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persist point results to a ResultCache here")
+    p.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                   help="write the causal NDJSON event log here")
+    add_jobs(p)
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
         "cache",

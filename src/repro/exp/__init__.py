@@ -20,9 +20,22 @@ Usage::
         print(point.params["llc_mb"], result["IMPACT-PnM"])
 """
 
+from repro.exp.adaptive import (
+    AdaptiveConfig,
+    AdaptiveOutcome,
+    AdaptivePointResult,
+    ConvergenceTarget,
+    bernoulli_probe_point,
+    run_adaptive_sweep,
+)
 from repro.exp.cache import MISSING, ResultCache, code_version
 from repro.exp.runner import (
+    ExecutionBackend,
+    PoolBackend,
     PoolUnavailableError,
+    SerialBackend,
+    ServeBackend,
+    StragglerPolicy,
     SweepOutcome,
     WorkerHandle,
     WorkerPool,
@@ -30,6 +43,7 @@ from repro.exp.runner import (
     get_pool,
     metrics_path,
     point_slug,
+    resolve_backend,
     run_sweep,
     shutdown_pool,
 )
@@ -38,19 +52,31 @@ from repro.exp.warmstore import WarmStore, pristine_system
 
 __all__ = [
     "MISSING",
+    "AdaptiveConfig",
+    "AdaptiveOutcome",
+    "AdaptivePointResult",
+    "ConvergenceTarget",
+    "ExecutionBackend",
+    "PoolBackend",
     "PoolUnavailableError",
     "ResultCache",
+    "SerialBackend",
+    "ServeBackend",
+    "StragglerPolicy",
     "SweepOutcome",
     "SweepPoint",
     "WarmStore",
     "WorkerHandle",
     "WorkerPool",
+    "bernoulli_probe_point",
     "code_version",
     "default_jobs",
     "get_pool",
     "metrics_path",
     "point_slug",
     "pristine_system",
+    "resolve_backend",
+    "run_adaptive_sweep",
     "run_sweep",
     "shutdown_pool",
     "sweep_points",

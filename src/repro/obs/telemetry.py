@@ -273,19 +273,39 @@ class FleetHealth:
         if entry is None:
             entry = self._workers[pid] = {
                 "points": 0, "failures": 0, "busy_seconds": 0.0,
-                "first_seen": now, "last_heartbeat": now}
+                "redispatched": 0, "first_seen": now, "last_heartbeat": now}
         return entry
 
     def record_dispatch(self, pid: int, span_id: str,
                         point_slug: Optional[str] = None,
                         run_id: Optional[str] = None,
-                        now: Optional[float] = None) -> None:
-        """A point left for worker ``pid`` (``span_id`` keys the flight)."""
+                        now: Optional[float] = None,
+                        redispatch_of: Optional[str] = None) -> None:
+        """A point left for worker ``pid`` (``span_id`` keys the flight).
+
+        A speculative re-dispatch of a flagged straggler passes the
+        *primary* flight's key as ``redispatch_of`` and its own distinct
+        key (conventionally ``<span>#rN``) as ``span_id`` — both copies
+        stay visible in flight, the twin marked ``twin`` and the primary
+        ``has_twin``, and the receiving worker's ``redispatched`` counter
+        increments."""
         now = time.monotonic() if now is None else now
-        self._worker(pid, now)["last_heartbeat"] = now
-        self._inflight[span_id] = {
-            "pid": pid, "point_slug": point_slug, "run_id": run_id,
-            "started": now, "straggler": False}
+        worker = self._worker(pid, now)
+        worker["last_heartbeat"] = now
+        flight = {"pid": pid, "point_slug": point_slug, "run_id": run_id,
+                  "started": now, "straggler": False,
+                  "twin": redispatch_of is not None, "has_twin": False}
+        if redispatch_of is not None:
+            worker["redispatched"] += 1
+            primary = self._inflight.get(redispatch_of)
+            if primary is not None:
+                primary["has_twin"] = True
+                flight.setdefault("point_slug", primary["point_slug"])
+                if point_slug is None:
+                    flight["point_slug"] = primary["point_slug"]
+                if run_id is None:
+                    flight["run_id"] = primary["run_id"]
+        self._inflight[span_id] = flight
 
     def record_done(self, pid: int, span_id: str, ok: bool = True,
                     now: Optional[float] = None) -> Tuple[float, bool]:
@@ -310,6 +330,20 @@ class FleetHealth:
         if newly:
             self.stragglers_total += 1
         return elapsed, newly
+
+    def record_cancelled(self, pid: int, span_id: str,
+                         now: Optional[float] = None) -> None:
+        """A speculative copy lost the first-commit-wins race and was
+        cancelled: release the flight without polluting the duration
+        median, point counts, or failure tallies."""
+        now = time.monotonic() if now is None else now
+        self._worker(pid, now)["last_heartbeat"] = now
+        self._inflight.pop(span_id, None)
+
+    def is_straggler(self, span_id: str) -> bool:
+        """True when the flight keyed ``span_id`` is currently flagged."""
+        flight = self._inflight.get(span_id)
+        return bool(flight and flight["straggler"])
 
     def median(self) -> Optional[float]:
         """Running median of completed point durations (``None`` until
@@ -368,6 +402,7 @@ class FleetHealth:
             workers[str(pid)] = {
                 "points": entry["points"],
                 "failures": entry["failures"],
+                "redispatched": entry.get("redispatched", 0),
                 "busy_seconds": round(busy, 6),
                 "points_per_sec": (round(entry["points"] / busy, 3)
                                    if busy > 0 else None),
@@ -381,7 +416,9 @@ class FleetHealth:
             ({"span_id": span, "worker_pid": flight["pid"],
               "point_slug": flight["point_slug"],
               "age_s": round(now - flight["started"], 6),
-              "straggler": flight["straggler"]}
+              "straggler": flight["straggler"],
+              "twin": flight.get("twin", False),
+              "has_twin": flight.get("has_twin", False)}
              for span, flight in self._inflight.items()),
             key=lambda entry: -entry["age_s"])
         return {

@@ -146,6 +146,27 @@ class ServeClient:
                     run_id=event.get("run_id"),
                 )
 
+    def submit_points(self, points: "Sequence[Any]", *, priority: int = 0,
+                      on_event: Optional[Callable[[Dict[str, Any]], None]]
+                      = None) -> JobResult:
+        """Submit :class:`~repro.exp.sweep.SweepPoint` objects directly.
+
+        The function reference is serialized as ``module:qualname`` (the
+        protocol's registry escape hatch) so the daemon re-resolves it on
+        its side; all points must share one function and experiment —
+        the runner's serve backend groups mixed sweeps before calling
+        this."""
+        specs = {(p.experiment, f"{p.fn.__module__}:{p.fn.__qualname__}")
+                 for p in points}
+        if len(specs) > 1:
+            raise ValueError(f"points mix functions/experiments: "
+                             f"{sorted(specs)}")
+        (_experiment, spec), = specs or {("", None)}
+        if spec is None:
+            raise ValueError("submit_points needs at least one point")
+        return self.submit(points=[dict(p.params) for p in points],
+                           fn=spec, priority=priority, on_event=on_event)
+
     def metrics(self) -> Dict[str, Any]:
         """Live telemetry snapshot: the daemon's metrics registry
         (counters, histograms, phases) plus scheduler stats."""
